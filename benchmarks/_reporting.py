@@ -1,0 +1,25 @@
+"""Persistence helper for the benchmark harness.
+
+pytest captures the stdout of passing tests, so every benchmark also appends
+its regenerated table/figure to ``benchmarks/results.txt`` via :func:`report`;
+EXPERIMENTS.md references that file for the measured numbers.
+"""
+
+import os
+
+RESULTS_PATH = os.path.join(os.path.dirname(__file__), "results.txt")
+
+
+def reset_results() -> None:
+    """Start a fresh results file (called at benchmark-session start)."""
+    try:
+        os.remove(RESULTS_PATH)
+    except FileNotFoundError:
+        pass
+
+
+def report(text: str) -> None:
+    """Print a regenerated table/figure and persist it to results.txt."""
+    print(text)
+    with open(RESULTS_PATH, "a", encoding="utf-8") as handle:
+        handle.write(text + "\n\n")

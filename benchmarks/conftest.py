@@ -1,0 +1,66 @@
+"""Shared fixtures for the benchmark harness.
+
+Each table / figure of the paper has its own benchmark module, but several of
+them are different views of the same trained models (Tables II & III and
+Figs. 4-6 all come from the main experiment; Table IV and Fig. 7 from the
+ablation).  The expensive experiments therefore run once per pytest session
+in the fixtures below and the individual benchmarks time the (cheap) driver
+that regenerates their specific table or figure from those results.
+
+Scale note: the fixtures use the ``small`` experiment scale so that the whole
+benchmark suite finishes in minutes on a laptop.  ``ExperimentScale.medium()``
+/ ``.paper()`` widen the sweep towards the paper's ~26 000-sample dataset.
+"""
+
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.compoff import COMPOFFConfig                     # noqa: E402
+from repro.evaluation import (                              # noqa: E402
+    ExperimentScale,
+    run_ablation,
+    run_comparison,
+    run_main_experiment,
+)
+from repro.hardware import ALL_PLATFORMS, MI50, V100        # noqa: E402
+from repro.ml.trainer import TrainingConfig                 # noqa: E402
+from repro.pipeline import SweepConfig                      # noqa: E402
+
+#: sweep shared by the ablation and comparison fixtures (kept small).
+BENCH_SWEEP = SweepConfig(size_scales=(0.5, 1.0), team_counts=(64,),
+                          thread_counts=(8, 64), repetitions=1)
+BENCH_TRAINING = TrainingConfig(epochs=30, batch_size=32, learning_rate=2e-3, seed=0)
+
+
+@pytest.fixture(scope="session")
+def main_result():
+    """Tables II-III / Figs. 4-6: one trained ParaGraph model per platform."""
+    scale = ExperimentScale(sweep=BENCH_SWEEP, epochs=40, hidden_dim=32, seed=0)
+    return run_main_experiment(scale, platforms=ALL_PLATFORMS)
+
+
+@pytest.fixture(scope="session")
+def ablation_result():
+    """Table IV / Fig. 7: Raw AST vs Augmented AST vs ParaGraph on the MI50."""
+    return run_ablation(sweep=BENCH_SWEEP, training=BENCH_TRAINING,
+                        platforms=(MI50,), hidden_dim=32, seed=0)
+
+
+@pytest.fixture(scope="session")
+def comparison_result():
+    """Figs. 8-9: ParaGraph vs COMPOFF on the NVIDIA V100."""
+    return run_comparison(platform=V100, sweep=BENCH_SWEEP, training=BENCH_TRAINING,
+                          compoff_config=COMPOFFConfig(epochs=120, seed=0),
+                          hidden_dim=32, seed=0)
+
+
+from _reporting import report, reset_results  # noqa: E402,F401
+
+
+def pytest_sessionstart(session):
+    # start each benchmark session with a fresh results.txt
+    reset_results()

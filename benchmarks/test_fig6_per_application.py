@@ -1,0 +1,24 @@
+"""Figure 6 — error rate per application.
+
+Shape check from the paper: the model is not biased toward one application —
+no single application's error dominates the others by orders of magnitude,
+and every application present in the validation split gets a finite error.
+"""
+
+from repro.evaluation import figure6_series, format_series
+
+from _reporting import report
+
+
+def test_fig6_error_per_application(benchmark, main_result):
+    series = benchmark.pedantic(figure6_series, args=(main_result,), rounds=1, iterations=1)
+    report("\nFigure 6 — error rate per application\n" + format_series(series))
+    for platform, per_application in series.items():
+        assert per_application, f"no validation applications for {platform}"
+        errors = list(per_application.values())
+        assert all(e >= 0 for e in errors)
+        # not biased toward one application: the worst application stays within
+        # a bounded factor of the mean error (the paper's "not biased" claim)
+        mean_error = sum(errors) / len(errors)
+        if mean_error > 0:
+            assert max(errors) < mean_error * 25

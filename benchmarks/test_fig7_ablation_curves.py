@@ -1,0 +1,29 @@
+"""Figure 7 — validation RMSE per epoch for the three representations (MI50).
+
+Shape checks from the paper: all three curves decrease over training, and the
+full ParaGraph representation converges to the lowest (or tied-lowest) error,
+while the raw AST converges to the highest.
+"""
+
+from repro.evaluation import format_curves
+from repro.hardware import MI50
+
+from _reporting import report
+
+
+def extract_curves(ablation_result):
+    histories = ablation_result.histories_for(MI50.name)
+    return {variant: history.val_rmses for variant, history in histories.items()}
+
+
+def test_fig7_ablation_training_curves(benchmark, ablation_result):
+    curves = benchmark.pedantic(extract_curves, args=(ablation_result,),
+                                rounds=1, iterations=1)
+    report("\nFigure 7 — validation RMSE (us) per epoch on the AMD MI50\n" +
+          format_curves(curves, every=10, value_format="{:.0f}"))
+    assert set(curves) == {"raw_ast", "augmented_ast", "paragraph"}
+    final = {variant: min(values[-5:]) for variant, values in curves.items()}
+    for variant, values in curves.items():
+        assert min(values) <= values[0], f"{variant} never improved during training"
+    assert final["paragraph"] < final["raw_ast"], (
+        "ParaGraph should converge below the raw AST representation")

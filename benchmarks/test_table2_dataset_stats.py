@@ -1,0 +1,27 @@
+"""Table II — data points collected on each accelerator.
+
+Regenerates the per-platform dataset statistics (sample counts, runtime
+range, standard deviation).  Expected shape from the paper: the GPU datasets
+have roughly twice as many points as the CPU datasets (four GPU variants vs.
+two CPU variants), and the CPU runtimes are far more dispersed (much larger
+standard deviation relative to their range).
+"""
+
+from repro.evaluation import format_table, table2_rows
+
+from _reporting import report
+
+
+def test_table2_dataset_statistics(benchmark, main_result):
+    rows = benchmark.pedantic(table2_rows, args=(main_result,), rounds=1, iterations=1)
+    report("\nTable II — Data points collected on each accelerator\n" +
+          format_table(rows, ("platform", "data_points", "runtime_min_ms",
+                              "runtime_max_ms", "std_dev_ms")))
+    by_platform = {row["platform"]: row for row in rows}
+    assert set(by_platform) == {"IBM POWER9", "NVIDIA V100", "AMD EPYC7401", "AMD MI50"}
+    # GPU datasets have twice the data points of CPU datasets (4 vs 2 variants)
+    assert by_platform["NVIDIA V100"]["data_points"] == 2 * by_platform["IBM POWER9"]["data_points"]
+    assert by_platform["AMD MI50"]["data_points"] == 2 * by_platform["AMD EPYC7401"]["data_points"]
+    for row in rows:
+        assert row["runtime_max_ms"] > row["runtime_min_ms"]
+        assert row["std_dev_ms"] > 0

@@ -1,0 +1,27 @@
+"""Table III — RMSE and normalized RMSE of the ParaGraph model per accelerator.
+
+The paper reports RMSE between 280 ms and 4325 ms and normalized RMSE between
+4e-3 and 1e-2.  Absolute values here differ (the datasets are simulated and
+orders of magnitude smaller than the paper's 26 000 points); the shape checks
+are: every platform trains to a finite, sub-unity normalized RMSE, and the
+normalized error is of the same order of magnitude across accelerators
+(ParaGraph's hardware-independence claim).
+"""
+
+import numpy as np
+
+from repro.evaluation import format_table, table3_rows
+
+from _reporting import report
+
+
+def test_table3_rmse_per_platform(benchmark, main_result):
+    rows = benchmark.pedantic(table3_rows, args=(main_result,), rounds=1, iterations=1)
+    report("\nTable III — Experimental results\n" +
+          format_table(rows, ("platform", "rmse_ms", "normalized_rmse")))
+    assert len(rows) == 4
+    normalized = np.array([row["normalized_rmse"] for row in rows])
+    assert np.all(np.isfinite(normalized))
+    assert np.all(normalized < 1.0)
+    # same order of magnitude across accelerators (within ~10x of each other)
+    assert normalized.max() / max(normalized.min(), 1e-9) < 10.0

@@ -1,0 +1,28 @@
+"""Table IV — ablation: Raw AST vs Augmented AST vs ParaGraph RMSE.
+
+The paper's key qualitative result: adding the augmentation edges improves
+over the raw AST, and adding the edge weights (full ParaGraph) improves
+further — on every accelerator.  The benchmark fixture runs the ablation on
+the AMD MI50 (the platform Fig. 7 uses); the shape check is the ordering
+``ParaGraph < Raw AST`` with ParaGraph also at least matching the Augmented
+AST.
+"""
+
+from repro.evaluation import format_table
+from repro.hardware import MI50
+
+from _reporting import report
+
+
+def test_table4_ablation_rmse(benchmark, ablation_result):
+    rows = benchmark.pedantic(ablation_result.rmse_table, rounds=1, iterations=1)
+    report("\nTable IV — RMSE (ms) with and without edges/weights\n" +
+          format_table(rows, ("platform", "raw_ast", "augmented_ast", "paragraph")))
+    row = {r["platform"]: r for r in rows}[MI50.name]
+    assert row["raw_ast"] > 0 and row["augmented_ast"] > 0 and row["paragraph"] > 0
+    # headline ordering: the full ParaGraph representation beats the raw AST
+    assert row["paragraph"] < row["raw_ast"], (
+        "ParaGraph should outperform the raw AST representation")
+    # and the weighted representation should not be worse than the unweighted
+    # augmented AST by more than a small tolerance
+    assert row["paragraph"] <= row["augmented_ast"] * 1.15

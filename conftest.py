@@ -1,0 +1,12 @@
+"""Make the in-tree sources importable for pytest without installation.
+
+The offline environment has no `wheel` package, so `pip install -e .` cannot
+build a PEP-660 editable wheel; `python setup.py develop` works, but this
+fallback keeps `pytest` functional from a clean checkout either way.
+"""
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(__file__), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

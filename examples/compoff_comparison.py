@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""ParaGraph vs the COMPOFF baseline on the NVIDIA V100 (Figs. 8-9).
+
+Trains both cost models on the same simulated V100 measurements — ParaGraph
+on the weighted program graphs, COMPOFF on hand-engineered operation-count
+features — and prints their error and correlation side by side.
+
+Run with:  python examples/compoff_comparison.py
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.compoff import COMPOFFConfig
+from repro.evaluation import format_table, run_comparison
+from repro.hardware import V100
+from repro.kernels import get_kernel
+from repro.ml.trainer import TrainingConfig
+from repro.pipeline import SweepConfig
+
+
+def main() -> None:
+    sweep = SweepConfig(
+        size_scales=(0.5, 1.0, 2.0),
+        team_counts=(64,),
+        thread_counts=(8, 64),
+        kernels=[get_kernel("matmul"), get_kernel("matvec"), get_kernel("transpose"),
+                 get_kernel("covariance_matrix"), get_kernel("knn_distance"),
+                 get_kernel("pf_likelihood")],
+    )
+    print("Training ParaGraph (RGAT on graphs) and COMPOFF (MLP on features)...")
+    comparison = run_comparison(
+        platform=V100,
+        sweep=sweep,
+        training=TrainingConfig(epochs=25, batch_size=16, learning_rate=2e-3, seed=0),
+        compoff_config=COMPOFFConfig(epochs=150, seed=0),
+        hidden_dim=24,
+        seed=0,
+    )
+
+    summary = comparison.summary()
+    rows = [{"model": name,
+             "rmse_ms": metrics["rmse"] / 1000.0,
+             "mean_relative_error": metrics["mean_relative_error"],
+             "pearson": metrics["pearson"]}
+            for name, metrics in summary.items()]
+    print("\nValidation comparison on the NVIDIA V100:")
+    print(format_table(rows, ("model", "rmse_ms", "mean_relative_error", "pearson")))
+
+    print("\nPredicted vs actual (first 10 validation points, ms):")
+    scatter = comparison.figure9_points()
+    sample_rows = []
+    for (actual, para), (_, compoff) in list(zip(scatter["ParaGraph"], scatter["COMPOFF"]))[:10]:
+        sample_rows.append({"actual_ms": actual / 1000.0,
+                            "paragraph_ms": para / 1000.0,
+                            "compoff_ms": compoff / 1000.0})
+    print(format_table(sample_rows, ("actual_ms", "paragraph_ms", "compoff_ms")))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""ParaGraph construction walk-through (the paper's Fig. 2 examples).
+
+Parses the three toy snippets from Fig. 2 — a declaration + assignment, an
+``if``/``else`` and a ``for`` loop — dumps their Clang-style ASTs, and prints
+the edges and weights ParaGraph adds on top (NextToken, NextSib, Ref,
+ForExec, ForNext, ConTrue, ConFalse, and the loop/branch Child-edge weights).
+
+Run with:  python examples/paragraph_construction.py
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.clang import analyze, dump, parse_snippet
+from repro.paragraph import EdgeType, GraphVariant, build_paragraph
+
+SNIPPETS = {
+    "declaration and assignment": "int x;\nx = 50;",
+    "if / else": "if (x > 50) { a = 1; } else { a = 2; }",
+    "for loop": "for (int i = 0; i < 50; i++) { x += i; }",
+}
+
+
+def describe(name: str, source: str) -> None:
+    print("=" * 72)
+    print(f"Snippet: {name}\n{source}\n")
+    ast = analyze(parse_snippet(source))
+    print("Clang-style AST:")
+    print(dump(ast))
+
+    graph = build_paragraph(ast)
+    print(f"\n{graph.summary()}")
+    print("\nAugmentation edges:")
+    for edge_type in EdgeType:
+        if edge_type is EdgeType.CHILD:
+            continue
+        for edge in graph.edges_of_type(edge_type):
+            src, dst = graph.nodes[edge.src], graph.nodes[edge.dst]
+            print(f"  {edge_type.display_name:10s} "
+                  f"{src.label}({src.spelling or '-'}) -> {dst.label}({dst.spelling or '-'})")
+    print("\nWeighted Child edges (weight > 1):")
+    for edge in graph.edges_of_type(EdgeType.CHILD):
+        if edge.weight != 1.0:
+            src, dst = graph.nodes[edge.src], graph.nodes[edge.dst]
+            print(f"  {src.label} -> {dst.label}: weight={edge.weight:g}")
+
+    raw = build_paragraph(ast, variant=GraphVariant.RAW_AST)
+    augmented = build_paragraph(ast, variant=GraphVariant.AUGMENTED_AST)
+    print(f"\nAblation sizes: Raw AST {raw.num_edges} edges, "
+          f"Augmented AST {augmented.num_edges} edges, ParaGraph {graph.num_edges} edges\n")
+
+
+def main() -> None:
+    for name, source in SNIPPETS.items():
+        describe(name, source)
+
+
+if __name__ == "__main__":
+    main()

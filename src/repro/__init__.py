@@ -1,0 +1,39 @@
+"""ParaGraph reproduction library.
+
+A from-scratch Python implementation of *ParaGraph: Weighted Graph
+Representation for Performance Optimization of HPC Kernels* (TehraniJamsaz
+et al.), including every substrate the paper depends on:
+
+* ``repro.clang`` -- C/OpenMP frontend producing Clang-style ASTs,
+* ``repro.paragraph`` -- the weighted, typed program-graph representation,
+* ``repro.nn`` / ``repro.gnn`` -- NumPy autograd + RGAT GNN stack,
+* ``repro.ml`` -- datasets, scalers, metrics and the training loop,
+* ``repro.kernels`` -- the Table I benchmark applications,
+* ``repro.advisor`` -- kernel analysis and the six OpenMP transformations,
+* ``repro.compoff`` -- the COMPOFF baseline cost model,
+* ``repro.hardware`` -- analytical Summit/Corona accelerator simulator,
+* ``repro.pipeline`` -- the end-to-end dataset/training workflow,
+* ``repro.evaluation`` -- drivers regenerating every table and figure.
+
+Quickstart::
+
+    from repro.pipeline import run_workflow, WorkflowConfig
+    result = run_workflow(WorkflowConfig())
+    print(result.metrics_table())
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "advisor",
+    "clang",
+    "compoff",
+    "evaluation",
+    "gnn",
+    "hardware",
+    "kernels",
+    "ml",
+    "nn",
+    "paragraph",
+    "pipeline",
+]

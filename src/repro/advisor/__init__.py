@@ -1,0 +1,50 @@
+"""``repro.advisor`` — OpenMP Advisor substitute.
+
+Kernel analysis, the six code-variant transformations of §IV-A.1 and the
+variant-recommendation facade that consumes a cost model (ParaGraph, COMPOFF
+or the analytical hardware model).
+"""
+
+from .advisor import CostModel, OpenMPAdvisor, Recommendation
+from .codegen import (
+    CodegenError,
+    find_outer_loop_line,
+    insert_pragma_before_outer_loop,
+    rename_function,
+    strip_pragmas,
+)
+from .kernel_analysis import (
+    KernelAnalysis,
+    OperationCounts,
+    analyze_kernel,
+    analyze_kernel_cached,
+    clear_analysis_cache,
+)
+from .transformations import (
+    ALL_VARIANTS,
+    KernelVariant,
+    VariantKind,
+    build_pragma,
+    generate_all_variants,
+    generate_variant,
+)
+
+__all__ = [
+    "ALL_VARIANTS",
+    "CodegenError",
+    "CostModel",
+    "KernelAnalysis",
+    "KernelVariant",
+    "OpenMPAdvisor",
+    "OperationCounts",
+    "Recommendation",
+    "VariantKind",
+    "analyze_kernel",
+    "build_pragma",
+    "find_outer_loop_line",
+    "generate_all_variants",
+    "generate_variant",
+    "insert_pragma_before_outer_loop",
+    "rename_function",
+    "strip_pragmas",
+]

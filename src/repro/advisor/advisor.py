@@ -1,0 +1,99 @@
+"""The OpenMP Advisor facade (paper §II-D).
+
+OpenMP Advisor has three modules: Kernel Analysis, a Cost Model and Code
+Transformation.  This facade wires the reproduction's equivalents together:
+
+* :meth:`OpenMPAdvisor.analyze` — static kernel analysis,
+* :meth:`OpenMPAdvisor.generate_variants` — the six transformations,
+* :meth:`OpenMPAdvisor.recommend` — rank variants by predicted runtime using
+  a pluggable cost model (the ParaGraph GNN, the COMPOFF baseline, or the
+  analytical hardware model) and return the best one.
+
+This is the end-use the paper motivates: "The predicted runtime of the model
+is used to determine which transformation provides the best performance."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..kernels.base import KernelDefinition
+from .kernel_analysis import KernelAnalysis, analyze_kernel
+from .transformations import (
+    ALL_VARIANTS,
+    KernelVariant,
+    VariantKind,
+    generate_all_variants,
+)
+
+#: A cost model maps (variant, sizes, teams, threads) to a predicted runtime
+#: in microseconds.
+CostModel = Callable[[KernelVariant, Mapping[str, int], int, int], float]
+
+
+@dataclass
+class Recommendation:
+    """The Advisor's answer for one kernel."""
+
+    kernel: KernelDefinition
+    best_variant: KernelVariant
+    predicted_runtimes: Dict[str, float]   # variant name -> microseconds
+
+    @property
+    def best_kind(self) -> VariantKind:
+        return self.best_variant.kind
+
+    def ranking(self) -> List[Tuple[str, float]]:
+        """Variants sorted from fastest to slowest predicted runtime."""
+        return sorted(self.predicted_runtimes.items(), key=lambda kv: kv[1])
+
+
+class OpenMPAdvisor:
+    """Facade orchestrating analysis, transformation and recommendation."""
+
+    def __init__(self, cost_model: Optional[CostModel] = None) -> None:
+        self.cost_model = cost_model
+
+    # ------------------------------------------------------------------ #
+    def analyze(self, kernel: KernelDefinition,
+                sizes: Optional[Mapping[str, int]] = None) -> KernelAnalysis:
+        """Static analysis of one kernel (loop nest, op counts, arrays)."""
+        return analyze_kernel(kernel, sizes)
+
+    def generate_variants(
+        self,
+        kernel: KernelDefinition,
+        sizes: Optional[Mapping[str, int]] = None,
+        kinds: Sequence[VariantKind] = ALL_VARIANTS,
+    ) -> List[KernelVariant]:
+        """Produce the (legal subset of the) six transformations."""
+        return generate_all_variants(kernel, sizes, kinds)
+
+    def recommend(
+        self,
+        kernel: KernelDefinition,
+        sizes: Optional[Mapping[str, int]] = None,
+        num_teams: int = 64,
+        num_threads: int = 16,
+        kinds: Sequence[VariantKind] = ALL_VARIANTS,
+    ) -> Recommendation:
+        """Pick the transformation with the lowest predicted runtime."""
+        if self.cost_model is None:
+            raise RuntimeError("OpenMPAdvisor needs a cost model to recommend variants")
+        concrete = kernel.sizes_with_defaults(sizes)
+        variants = self.generate_variants(kernel, concrete, kinds)
+        if not variants:
+            raise ValueError(f"no legal variants for kernel {kernel.full_name}")
+        predictions: Dict[str, float] = {}
+        best: Optional[KernelVariant] = None
+        best_runtime = float("inf")
+        for variant in variants:
+            runtime = float(self.cost_model(variant, concrete, num_teams, num_threads))
+            predictions[variant.kind.value] = runtime
+            if runtime < best_runtime:
+                best_runtime = runtime
+                best = variant
+        assert best is not None
+        return Recommendation(kernel=kernel, best_variant=best,
+                              predicted_runtimes=predictions)

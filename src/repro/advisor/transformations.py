@@ -1,0 +1,160 @@
+"""The six code-variant transformations (paper §IV-A.1).
+
+The dataset is built from six transformations of every kernel:
+
+========================= =====================================================
+``cpu``                   ``omp parallel for`` on the outer loop
+``cpu_collapse``          ``omp parallel for collapse(2)`` when the nest allows
+``gpu``                   ``omp target teams distribute parallel for`` (data
+                          assumed resident on the device)
+``gpu_collapse``          the GPU directive with ``collapse(2)``
+``gpu_mem``               the GPU directive plus ``map`` clauses (host↔device
+                          data transfer included)
+``gpu_collapse_mem``      GPU + collapse + data transfer
+========================= =====================================================
+
+The original system obtained these variants from OpenMP Advisor's code
+transformation module; here they are produced as source-to-source rewrites of
+the serial kernel (pragma insertion + map-clause synthesis), then re-parsed by
+``repro.clang`` so the downstream graph construction sees exactly what a
+compiler would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..kernels.base import ArraySpec, KernelDefinition
+from .codegen import insert_pragma_before_outer_loop
+
+
+class VariantKind(Enum):
+    """The transformation applied to a kernel."""
+
+    CPU = "cpu"
+    CPU_COLLAPSE = "cpu_collapse"
+    GPU = "gpu"
+    GPU_COLLAPSE = "gpu_collapse"
+    GPU_MEM = "gpu_mem"
+    GPU_COLLAPSE_MEM = "gpu_collapse_mem"
+
+    @property
+    def is_gpu(self) -> bool:
+        return self in {VariantKind.GPU, VariantKind.GPU_COLLAPSE,
+                        VariantKind.GPU_MEM, VariantKind.GPU_COLLAPSE_MEM}
+
+    @property
+    def uses_collapse(self) -> bool:
+        return self in {VariantKind.CPU_COLLAPSE, VariantKind.GPU_COLLAPSE,
+                        VariantKind.GPU_COLLAPSE_MEM}
+
+    @property
+    def includes_data_transfer(self) -> bool:
+        return self in {VariantKind.GPU_MEM, VariantKind.GPU_COLLAPSE_MEM}
+
+
+#: Transformation order used throughout the library (matches the paper list).
+ALL_VARIANTS: Tuple[VariantKind, ...] = (
+    VariantKind.CPU,
+    VariantKind.CPU_COLLAPSE,
+    VariantKind.GPU,
+    VariantKind.GPU_COLLAPSE,
+    VariantKind.GPU_MEM,
+    VariantKind.GPU_COLLAPSE_MEM,
+)
+
+
+@dataclass(frozen=True)
+class KernelVariant:
+    """One transformed kernel: the generated source plus its provenance."""
+
+    kernel: KernelDefinition
+    kind: VariantKind
+    source: str
+    pragma: str
+    collapse: int
+
+    @property
+    def name(self) -> str:
+        return f"{self.kernel.full_name}:{self.kind.value}"
+
+    @property
+    def is_gpu(self) -> bool:
+        return self.kind.is_gpu
+
+    @property
+    def includes_data_transfer(self) -> bool:
+        return self.kind.includes_data_transfer
+
+
+def _map_clauses(arrays: Sequence[ArraySpec], sizes: Mapping[str, int]) -> str:
+    """Synthesize ``map`` clauses with explicit array sections."""
+    by_direction: Dict[str, List[str]] = {}
+    for array in arrays:
+        section = f"{array.name}[0:{array.num_elements(sizes)}]"
+        by_direction.setdefault(array.direction, []).append(section)
+    parts = []
+    for direction in ("to", "from", "tofrom"):
+        if direction in by_direction:
+            parts.append(f"map({direction}: {', '.join(by_direction[direction])})")
+    return " ".join(parts)
+
+
+def build_pragma(
+    kind: VariantKind,
+    kernel: KernelDefinition,
+    sizes: Mapping[str, int],
+    collapse: Optional[int] = None,
+) -> Tuple[str, int]:
+    """Return the pragma line text and the collapse level for a variant."""
+    if collapse is None:
+        collapse = 2 if kind.uses_collapse else 1
+    collapse = max(1, min(collapse, kernel.collapsible_loops))
+
+    if kind.is_gpu:
+        directive = "omp target teams distribute parallel for"
+    else:
+        directive = "omp parallel for"
+    clauses: List[str] = []
+    if collapse > 1:
+        clauses.append(f"collapse({collapse})")
+    if kind.includes_data_transfer:
+        map_text = _map_clauses(kernel.arrays, sizes)
+        if map_text:
+            clauses.append(map_text)
+    pragma = "#pragma " + " ".join([directive] + clauses)
+    return pragma, collapse
+
+
+def generate_variant(
+    kernel: KernelDefinition,
+    kind: VariantKind,
+    sizes: Optional[Mapping[str, int]] = None,
+) -> KernelVariant:
+    """Apply one transformation to *kernel*, returning the rewritten source."""
+    concrete = kernel.sizes_with_defaults(sizes)
+    pragma, collapse = build_pragma(kind, kernel, concrete)
+    source = insert_pragma_before_outer_loop(kernel.source, pragma)
+    return KernelVariant(kernel=kernel, kind=kind, source=source,
+                         pragma=pragma, collapse=collapse)
+
+
+def generate_all_variants(
+    kernel: KernelDefinition,
+    sizes: Optional[Mapping[str, int]] = None,
+    kinds: Sequence[VariantKind] = ALL_VARIANTS,
+) -> List[KernelVariant]:
+    """All requested transformations of one kernel.
+
+    Collapse variants are skipped for kernels whose loop nest is not
+    collapsible (``collapsible_loops < 2``), mirroring the Advisor only
+    proposing legal transformations.
+    """
+    variants: List[KernelVariant] = []
+    for kind in kinds:
+        if kind.uses_collapse and kernel.collapsible_loops < 2:
+            continue
+        variants.append(generate_variant(kernel, kind, sizes))
+    return variants

@@ -1,0 +1,44 @@
+"""Textual AST dump, loosely modelled on ``clang -ast-dump``.
+
+Useful for debugging kernels and in the examples to show the tree that
+ParaGraph is built from.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .ast_nodes import ASTNode
+
+
+def dump(node: ASTNode, max_depth: int = -1) -> str:
+    """Return an indented, human-readable dump of the AST."""
+    lines: List[str] = []
+
+    def visit(current: ASTNode, prefix: str, is_last: bool, depth: int) -> None:
+        connector = "`-" if is_last else "|-"
+        spelling = f" '{current.spelling}'" if current.spelling else ""
+        line, col = current.location
+        loc = f" <{line}:{col}>" if line else ""
+        lines.append(f"{prefix}{connector}{current.kind}{spelling}{loc}")
+        if max_depth >= 0 and depth >= max_depth:
+            return
+        child_prefix = prefix + ("  " if is_last else "| ")
+        for i, child in enumerate(current.children):
+            visit(child, child_prefix, i == len(current.children) - 1, depth + 1)
+
+    spelling = f" '{node.spelling}'" if node.spelling else ""
+    lines.append(f"{node.kind}{spelling}")
+    for i, child in enumerate(node.children):
+        visit(child, "", i == len(node.children) - 1, 1)
+    return "\n".join(lines)
+
+
+def summarize(node: ASTNode) -> str:
+    """One-line summary: node counts by kind, sorted by frequency."""
+    counts: dict = {}
+    for item in node.walk():
+        counts[item.kind] = counts.get(item.kind, 0) + 1
+    parts = [f"{kind}={count}" for kind, count in
+             sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))]
+    return ", ".join(parts)

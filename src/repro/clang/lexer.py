@@ -1,0 +1,325 @@
+"""Tokenizer for the C subset used by the ParaGraph benchmark kernels.
+
+The original ParaGraph pipeline used Clang to parse OpenMP C/C++ kernels.
+Clang is not available in this environment, so this module implements a
+self-contained lexer producing a flat token stream that the recursive-descent
+parser in :mod:`repro.clang.parser` consumes.
+
+The lexer understands:
+
+* identifiers and C keywords,
+* integer / floating literals (decimal, hex, octal, exponents, suffixes),
+* character and string literals with escape sequences,
+* all C operators and punctuators used in expression/statement grammar,
+* ``//`` and ``/* */`` comments (skipped),
+* preprocessor lines: ``#pragma`` lines are emitted as :data:`TokenKind.PRAGMA`
+  tokens carrying the raw pragma text (so OpenMP directives survive into the
+  AST), every other ``#...`` line (``#include``, ``#define`` without use, …)
+  is skipped.
+
+Tokens carry their source location so the AST — and therefore ParaGraph —
+can preserve the left-to-right token order required for ``NextToken`` edges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+from typing import Iterator, List, Optional
+
+
+class LexError(Exception):
+    """Raised when the source text cannot be tokenized."""
+
+    def __init__(self, message: str, line: int, column: int) -> None:
+        super().__init__(f"{message} at line {line}, column {column}")
+        self.line = line
+        self.column = column
+
+
+class TokenKind(Enum):
+    """Classification of lexed tokens."""
+
+    IDENTIFIER = auto()
+    KEYWORD = auto()
+    INT_LITERAL = auto()
+    FLOAT_LITERAL = auto()
+    CHAR_LITERAL = auto()
+    STRING_LITERAL = auto()
+    PUNCTUATOR = auto()
+    PRAGMA = auto()
+    EOF = auto()
+
+
+#: Keywords of the supported C subset.  ``restrict`` and storage-class
+#: specifiers are accepted so real benchmark sources parse unmodified.
+KEYWORDS = frozenset(
+    {
+        "auto", "break", "case", "char", "const", "continue", "default", "do",
+        "double", "else", "enum", "extern", "float", "for", "goto", "if",
+        "inline", "int", "long", "register", "restrict", "return", "short",
+        "signed", "sizeof", "static", "struct", "switch", "typedef", "union",
+        "unsigned", "void", "volatile", "while", "_Bool", "bool", "size_t",
+    }
+)
+
+#: Multi-character punctuators, longest first so maximal munch works.
+_PUNCTUATORS = [
+    "<<=", ">>=", "...",
+    "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+    "+", "-", "*", "/", "%", "&", "|", "^", "~", "!", "<", ">", "=",
+    "?", ":", ";", ",", ".", "(", ")", "[", "]", "{", "}",
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token.
+
+    Attributes
+    ----------
+    kind:
+        The token classification.
+    text:
+        The exact source spelling (for :data:`TokenKind.PRAGMA` tokens the
+        text is the pragma body without the leading ``#pragma``).
+    line, column:
+        1-based source position of the first character.
+    index:
+        Position of the token in the token stream; used by downstream code to
+        impose the ``NextToken`` ordering.
+    """
+
+    kind: TokenKind
+    text: str
+    line: int
+    column: int
+    index: int = 0
+
+    def is_punct(self, text: str) -> bool:
+        """Return True when this token is the given punctuator."""
+        return self.kind is TokenKind.PUNCTUATOR and self.text == text
+
+    def is_keyword(self, text: str) -> bool:
+        """Return True when this token is the given keyword."""
+        return self.kind is TokenKind.KEYWORD and self.text == text
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Token({self.kind.name}, {self.text!r}, {self.line}:{self.column})"
+
+
+class Lexer:
+    """Stateful scanner over a source string.
+
+    The public entry point is :meth:`tokenize`; :func:`tokenize` is the
+    module-level convenience wrapper.
+    """
+
+    def __init__(self, source: str, filename: str = "<source>") -> None:
+        self.source = source
+        self.filename = filename
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+        self._tokens: List[Token] = []
+
+    # ------------------------------------------------------------------ #
+    # low-level cursor helpers
+    # ------------------------------------------------------------------ #
+    def _peek(self, offset: int = 0) -> str:
+        idx = self.pos + offset
+        if idx < len(self.source):
+            return self.source[idx]
+        return ""
+
+    def _advance(self, count: int = 1) -> str:
+        text = self.source[self.pos : self.pos + count]
+        for ch in text:
+            if ch == "\n":
+                self.line += 1
+                self.column = 1
+            else:
+                self.column += 1
+        self.pos += count
+        return text
+
+    def _at_end(self) -> bool:
+        return self.pos >= len(self.source)
+
+    def _error(self, message: str) -> LexError:
+        return LexError(message, self.line, self.column)
+
+    # ------------------------------------------------------------------ #
+    # whitespace / comments / preprocessor
+    # ------------------------------------------------------------------ #
+    def _skip_trivia(self) -> Optional[Token]:
+        """Skip whitespace and comments; return a PRAGMA token when one is found."""
+        while not self._at_end():
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+                continue
+            if ch == "/" and self._peek(1) == "/":
+                while not self._at_end() and self._peek() != "\n":
+                    self._advance()
+                continue
+            if ch == "/" and self._peek(1) == "*":
+                self._advance(2)
+                while not self._at_end() and not (
+                    self._peek() == "*" and self._peek(1) == "/"
+                ):
+                    self._advance()
+                if self._at_end():
+                    raise self._error("unterminated block comment")
+                self._advance(2)
+                continue
+            if ch == "#":
+                pragma = self._lex_preprocessor_line()
+                if pragma is not None:
+                    return pragma
+                continue
+            break
+        return None
+
+    def _lex_preprocessor_line(self) -> Optional[Token]:
+        """Consume a ``#...`` line.
+
+        ``#pragma`` lines become PRAGMA tokens; other directives are ignored.
+        Line continuations (backslash-newline) are honoured.
+        """
+        line, column = self.line, self.column
+        self._advance()  # '#'
+        body_chars: List[str] = []
+        while not self._at_end():
+            ch = self._peek()
+            if ch == "\\" and self._peek(1) == "\n":
+                self._advance(2)
+                body_chars.append(" ")
+                continue
+            if ch == "\n":
+                break
+            body_chars.append(ch)
+            self._advance()
+        body = "".join(body_chars).strip()
+        if body.startswith("pragma"):
+            text = body[len("pragma"):].strip()
+            return Token(TokenKind.PRAGMA, text, line, column)
+        return None
+
+    # ------------------------------------------------------------------ #
+    # literal scanners
+    # ------------------------------------------------------------------ #
+    def _lex_number(self) -> Token:
+        line, column = self.line, self.column
+        start = self.pos
+        is_float = False
+        src = self.source
+        if self._peek() == "0" and self._peek(1) in "xX":
+            self._advance(2)
+            while not self._at_end() and (self._peek() in "0123456789abcdefABCDEF"):
+                self._advance()
+        else:
+            while not self._at_end() and self._peek().isdigit():
+                self._advance()
+            if self._peek() == "." and self._peek(1).isdigit():
+                is_float = True
+                self._advance()
+                while not self._at_end() and self._peek().isdigit():
+                    self._advance()
+            elif self._peek() == ".":
+                is_float = True
+                self._advance()
+            if self._peek() in "eE" and (
+                self._peek(1).isdigit()
+                or (self._peek(1) in "+-" and self._peek(2).isdigit())
+            ):
+                is_float = True
+                self._advance()
+                if self._peek() in "+-":
+                    self._advance()
+                while not self._at_end() and self._peek().isdigit():
+                    self._advance()
+        # suffixes
+        while not self._at_end() and self._peek() in "uUlLfF":
+            if self._peek() in "fF":
+                is_float = True
+            self._advance()
+        text = src[start : self.pos]
+        kind = TokenKind.FLOAT_LITERAL if is_float else TokenKind.INT_LITERAL
+        return Token(kind, text, line, column)
+
+    def _lex_identifier(self) -> Token:
+        line, column = self.line, self.column
+        start = self.pos
+        while not self._at_end() and (self._peek().isalnum() or self._peek() == "_"):
+            self._advance()
+        text = self.source[start : self.pos]
+        kind = TokenKind.KEYWORD if text in KEYWORDS else TokenKind.IDENTIFIER
+        return Token(kind, text, line, column)
+
+    def _lex_quoted(self, quote: str, kind: TokenKind) -> Token:
+        line, column = self.line, self.column
+        start = self.pos
+        self._advance()  # opening quote
+        while not self._at_end() and self._peek() != quote:
+            if self._peek() == "\\":
+                self._advance(2)
+            else:
+                if self._peek() == "\n":
+                    raise self._error("unterminated literal")
+                self._advance()
+        if self._at_end():
+            raise self._error("unterminated literal")
+        self._advance()  # closing quote
+        return Token(kind, self.source[start : self.pos], line, column)
+
+    def _lex_punctuator(self) -> Token:
+        line, column = self.line, self.column
+        for punct in _PUNCTUATORS:
+            if self.source.startswith(punct, self.pos):
+                self._advance(len(punct))
+                return Token(TokenKind.PUNCTUATOR, punct, line, column)
+        raise self._error(f"unexpected character {self._peek()!r}")
+
+    # ------------------------------------------------------------------ #
+    # main loop
+    # ------------------------------------------------------------------ #
+    def _next_token(self) -> Token:
+        pragma = self._skip_trivia()
+        if pragma is not None:
+            return pragma
+        if self._at_end():
+            return Token(TokenKind.EOF, "", self.line, self.column)
+        ch = self._peek()
+        if ch.isdigit() or (ch == "." and self._peek(1).isdigit()):
+            return self._lex_number()
+        if ch.isalpha() or ch == "_":
+            return self._lex_identifier()
+        if ch == '"':
+            return self._lex_quoted('"', TokenKind.STRING_LITERAL)
+        if ch == "'":
+            return self._lex_quoted("'", TokenKind.CHAR_LITERAL)
+        return self._lex_punctuator()
+
+    def tokenize(self) -> List[Token]:
+        """Tokenize the whole source, returning tokens ending with EOF."""
+        tokens: List[Token] = []
+        while True:
+            token = self._next_token()
+            token = Token(
+                token.kind, token.text, token.line, token.column, index=len(tokens)
+            )
+            tokens.append(token)
+            if token.kind is TokenKind.EOF:
+                break
+        self._tokens = tokens
+        return tokens
+
+    def __iter__(self) -> Iterator[Token]:  # pragma: no cover - convenience
+        return iter(self.tokenize())
+
+
+def tokenize(source: str, filename: str = "<source>") -> List[Token]:
+    """Tokenize *source* and return the token list (terminated by EOF)."""
+    return Lexer(source, filename).tokenize()

@@ -1,0 +1,188 @@
+"""Parsing of ``#pragma omp`` directive text into OpenMP AST nodes.
+
+The lexer emits ``#pragma`` lines as single :data:`TokenKind.PRAGMA` tokens
+whose text is everything after ``#pragma``.  This module turns that text into
+the directive class (``OMPParallelForDirective``,
+``OMPTargetTeamsDistributeParallelForDirective``, …) and a list of
+:class:`~repro.clang.ast_nodes.OMPClause` nodes, mirroring how Clang models
+OpenMP in its AST.
+
+Only the directives and clauses used by the six ParaGraph code-variant
+transformations (§IV-A.1) plus a few common extras are given dedicated node
+classes; everything else falls back to :class:`OMPGenericDirective` so
+arbitrary OpenMP sources still parse.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple, Type
+
+from .ast_nodes import (
+    IntegerLiteral,
+    OMPAtomicDirective,
+    OMPBarrierDirective,
+    OMPClause,
+    OMPCriticalDirective,
+    OMPExecutableDirective,
+    OMPForDirective,
+    OMPGenericDirective,
+    OMPParallelDirective,
+    OMPParallelForDirective,
+    OMPSimdDirective,
+    OMPTargetDataDirective,
+    OMPTargetDirective,
+    OMPTargetEnterDataDirective,
+    OMPTargetExitDataDirective,
+    OMPTargetUpdateDirective,
+    OMPTargetTeamsDistributeParallelForDirective,
+    OMPTeamsDistributeParallelForDirective,
+)
+
+
+class PragmaError(Exception):
+    """Raised when a ``#pragma omp`` line cannot be interpreted."""
+
+
+#: Longest-match table mapping the directive-name word sequence to the node
+#: class.  Order matters only through the "longest prefix wins" rule applied
+#: in :func:`_match_directive`.
+DIRECTIVE_TABLE: Dict[Tuple[str, ...], Type[OMPExecutableDirective]] = {
+    ("target", "teams", "distribute", "parallel", "for"):
+        OMPTargetTeamsDistributeParallelForDirective,
+    ("teams", "distribute", "parallel", "for"):
+        OMPTeamsDistributeParallelForDirective,
+    ("target", "enter", "data"): OMPTargetEnterDataDirective,
+    ("target", "exit", "data"): OMPTargetExitDataDirective,
+    ("target", "update",): OMPTargetUpdateDirective,
+    ("target", "data"): OMPTargetDataDirective,
+    ("parallel", "for"): OMPParallelForDirective,
+    ("parallel",): OMPParallelDirective,
+    ("target",): OMPTargetDirective,
+    ("for",): OMPForDirective,
+    ("simd",): OMPSimdDirective,
+    ("critical",): OMPCriticalDirective,
+    ("atomic",): OMPAtomicDirective,
+    ("barrier",): OMPBarrierDirective,
+}
+
+#: Clauses whose single argument is an integer expression we evaluate eagerly
+#: (so ``collapse(2)`` exposes the value 2 to the variant analyses).
+_INT_CLAUSES = frozenset(
+    {"collapse", "num_threads", "num_teams", "thread_limit", "ordered", "safelen", "simdlen"}
+)
+
+#: Directives that do not take an associated statement (standalone).
+STANDALONE_DIRECTIVES = frozenset(
+    {"target enter data", "target exit data", "target update", "barrier"}
+)
+
+_CLAUSE_RE = re.compile(r"([a-zA-Z_][a-zA-Z_0-9]*)\s*(\(|\b)")
+
+
+def _split_words(text: str) -> List[str]:
+    return [w for w in re.split(r"\s+", text.strip()) if w]
+
+
+def _match_directive(words: List[str]) -> Tuple[Optional[Type[OMPExecutableDirective]], int, str]:
+    """Match the longest known directive prefix.
+
+    Returns (node class or None, number of words consumed, directive name).
+    """
+    best: Optional[Tuple[str, ...]] = None
+    for key in DIRECTIVE_TABLE:
+        if len(key) <= len(words) and tuple(words[: len(key)]) == key:
+            if best is None or len(key) > len(best):
+                best = key
+    if best is None:
+        return None, 0, ""
+    return DIRECTIVE_TABLE[best], len(best), " ".join(best)
+
+
+def _extract_balanced(text: str, start: int) -> Tuple[str, int]:
+    """Extract the contents of a balanced parenthesis group starting at *start*.
+
+    ``text[start]`` must be ``(``; the returned index points just past the
+    closing parenthesis.
+    """
+    depth = 0
+    for i in range(start, len(text)):
+        if text[i] == "(":
+            depth += 1
+        elif text[i] == ")":
+            depth -= 1
+            if depth == 0:
+                return text[start + 1 : i], i + 1
+    raise PragmaError(f"unbalanced parentheses in clause arguments: {text!r}")
+
+
+def parse_clauses(text: str) -> List[OMPClause]:
+    """Parse the clause portion of a pragma line into ``OMPClause`` nodes."""
+    clauses: List[OMPClause] = []
+    pos = 0
+    length = len(text)
+    while pos < length:
+        ch = text[pos]
+        if ch.isspace() or ch == ",":
+            pos += 1
+            continue
+        match = _CLAUSE_RE.match(text, pos)
+        if match is None:
+            raise PragmaError(f"cannot parse clause near {text[pos:pos+20]!r}")
+        name = match.group(1)
+        pos = match.start(2) if match.group(2) == "(" else match.end()
+        args_text = ""
+        arg_nodes: List = []
+        if pos < length and text[pos] == "(":
+            args_text, pos = _extract_balanced(text, pos)
+            if name in _INT_CLAUSES:
+                stripped = args_text.strip()
+                if re.fullmatch(r"\d+", stripped):
+                    arg_nodes.append(IntegerLiteral(int(stripped), stripped))
+        clauses.append(OMPClause(name, arg_nodes, args_text.strip()))
+    return clauses
+
+
+def parse_omp_pragma(text: str) -> Tuple[Type[OMPExecutableDirective], str, List[OMPClause]]:
+    """Parse a pragma body (text after ``#pragma``).
+
+    Returns ``(directive class, directive name, clauses)``.  Raises
+    :class:`PragmaError` when the pragma is not an ``omp`` pragma.
+    """
+    words = _split_words(text)
+    if not words or words[0] != "omp":
+        raise PragmaError(f"not an OpenMP pragma: {text!r}")
+    rest_words = words[1:]
+    cls, consumed, name = _match_directive(rest_words)
+    if cls is None:
+        # Unknown directive: take the first word as its name.
+        if not rest_words:
+            raise PragmaError("empty OpenMP pragma")
+        name = rest_words[0]
+        consumed = 1
+        cls = OMPGenericDirective
+    # Re-find the clause text in the original string so parentheses survive.
+    clause_text = text
+    # Strip "omp" and the directive words one at a time from the left.
+    for word in ["omp"] + list(name.split()):
+        clause_text = re.sub(r"^\s*" + re.escape(word) + r"\b", "", clause_text, count=1)
+    clauses = parse_clauses(clause_text.strip())
+    return cls, name, clauses
+
+
+def is_standalone(name: str) -> bool:
+    """True when the directive does not capture a following statement."""
+    return name in STANDALONE_DIRECTIVES
+
+
+def build_directive(
+    cls: Type[OMPExecutableDirective],
+    name: str,
+    clauses: List[OMPClause],
+    body=None,
+    location: Tuple[int, int] = (0, 0),
+):
+    """Instantiate the directive node, handling the generic fallback class."""
+    if cls is OMPGenericDirective:
+        return OMPGenericDirective(name, clauses, body, location=location)
+    return cls(clauses, body, location=location)

@@ -1,0 +1,425 @@
+"""Semantic passes over the Clang-style AST.
+
+Three passes are implemented, mirroring the pieces of Clang's semantic
+analysis that ParaGraph actually depends on:
+
+* :func:`resolve_references` — scoped symbol-table resolution that links every
+  ``DeclRefExpr`` to its declaring ``VarDecl`` / ``ParmVarDecl`` /
+  ``FunctionDecl``; this is what makes ``Ref`` edges possible.
+* :func:`insert_implicit_casts` — wraps ``DeclRefExpr`` nodes used as rvalues
+  in ``ImplicitCastExpr`` nodes, reproducing the Clang AST shape shown in
+  Fig. 2 of the paper.
+* :func:`evaluate_constant` / :func:`ConstantEnvironment` — a small constant
+  folder used to extract loop trip counts for the edge-weight computation and
+  array sizes for the data-transfer model.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Union
+
+from .ast_nodes import (
+    ASTNode,
+    ArraySubscriptExpr,
+    BinaryOperator,
+    CStyleCastExpr,
+    CallExpr,
+    CompoundStmt,
+    ConditionalOperator,
+    DeclRefExpr,
+    DeclStmt,
+    FloatingLiteral,
+    ForStmt,
+    FunctionDecl,
+    IfStmt,
+    ImplicitCastExpr,
+    IntegerLiteral,
+    ParenExpr,
+    ParmVarDecl,
+    SizeOfExpr,
+    UnaryOperator,
+    VarDecl,
+    set_parents,
+)
+
+Number = Union[int, float]
+
+
+class SemanticError(Exception):
+    """Raised by strict resolution when a reference cannot be bound."""
+
+
+# ---------------------------------------------------------------------- #
+# scoped symbol table
+# ---------------------------------------------------------------------- #
+class Scope:
+    """A lexical scope in the symbol table chain."""
+
+    def __init__(self, parent: Optional["Scope"] = None) -> None:
+        self.parent = parent
+        self.symbols: Dict[str, ASTNode] = {}
+
+    def declare(self, name: str, node: ASTNode) -> None:
+        self.symbols[name] = node
+
+    def lookup(self, name: str) -> Optional[ASTNode]:
+        scope: Optional[Scope] = self
+        while scope is not None:
+            if name in scope.symbols:
+                return scope.symbols[name]
+            scope = scope.parent
+        return None
+
+
+def _declare_node(scope: Scope, node: ASTNode) -> None:
+    if isinstance(node, (VarDecl, ParmVarDecl)):
+        scope.declare(node.spelling, node)
+    elif isinstance(node, FunctionDecl):
+        scope.declare(node.name, node)
+
+
+def resolve_references(root: ASTNode, strict: bool = False) -> int:
+    """Bind every ``DeclRefExpr`` to its declaration.
+
+    Returns the number of references that were successfully resolved.  With
+    ``strict=True`` an unresolved reference raises :class:`SemanticError`
+    (library calls such as ``sqrt`` stay unresolved in non-strict mode, which
+    matches Clang producing a reference to an implicitly declared function).
+    """
+    resolved = 0
+
+    def visit(node: ASTNode, scope: Scope) -> int:
+        nonlocal resolved
+        if isinstance(node, FunctionDecl):
+            _declare_node(scope, node)
+            inner = Scope(scope)
+            for param in node.params:
+                _declare_node(inner, param)
+            for child in node.children:
+                if child not in node.params:
+                    visit(child, inner)
+            return resolved
+        if isinstance(node, (CompoundStmt, ForStmt)):
+            inner = Scope(scope)
+            for child in node.children:
+                visit(child, inner)
+            return resolved
+        if isinstance(node, DeclStmt):
+            for child in node.children:
+                visit(child, scope)
+                _declare_node(scope, child)
+            return resolved
+        if isinstance(node, VarDecl):
+            for child in node.children:
+                visit(child, scope)
+            _declare_node(scope, node)
+            return resolved
+        if isinstance(node, DeclRefExpr):
+            decl = scope.lookup(node.name)
+            if decl is not None:
+                node.referenced_decl = decl
+                resolved += 1
+            elif strict:
+                raise SemanticError(f"unresolved reference to {node.name!r}")
+            return resolved
+        for child in node.children:
+            visit(child, scope)
+        return resolved
+
+    visit(root, Scope())
+    return resolved
+
+
+# ---------------------------------------------------------------------- #
+# implicit cast insertion
+# ---------------------------------------------------------------------- #
+def _needs_cast(node: DeclRefExpr) -> bool:
+    """Decide whether a DeclRefExpr is used as an rvalue."""
+    parent = node.parent
+    if parent is None:
+        return False
+    if isinstance(parent, BinaryOperator) and parent.is_assignment and parent.lhs is node:
+        return False
+    if isinstance(parent, UnaryOperator) and parent.opcode in {"&", "++", "--"}:
+        return False
+    if isinstance(parent, CallExpr) and parent.callee is node:
+        return False
+    if isinstance(parent, ArraySubscriptExpr) and parent.base is node:
+        # the array base decays to a pointer; Clang emits an ArrayToPointer
+        # cast, which we also model.
+        return True
+    if isinstance(parent, ImplicitCastExpr):
+        return False
+    return True
+
+
+def insert_implicit_casts(root: ASTNode) -> int:
+    """Wrap rvalue ``DeclRefExpr`` uses in ``ImplicitCastExpr`` nodes.
+
+    Returns the number of casts inserted.  The tree's parent pointers are
+    refreshed afterwards.
+    """
+    set_parents(root)
+    inserted = 0
+    for node in list(root.walk()):
+        if not isinstance(node, DeclRefExpr):
+            continue
+        if not _needs_cast(node):
+            continue
+        parent = node.parent
+        if parent is None:
+            continue
+        is_array_base = isinstance(parent, ArraySubscriptExpr) and parent.base is node
+        cast_kind = "ArrayToPointerDecay" if is_array_base else "LValueToRValue"
+        cast = ImplicitCastExpr(node, cast_kind, location=node.location,
+                                token_index=node.token_index)
+        parent.replace_child(node, cast)
+        # keep the structured accessors in sync with the children list
+        for attr in ("lhs", "rhs", "operand", "cond", "base", "index", "init",
+                     "inc", "body", "callee", "true_expr", "false_expr", "inner",
+                     "value", "then_branch", "else_branch"):
+            if getattr(parent, attr, None) is node:
+                setattr(parent, attr, cast)
+        if isinstance(parent, CallExpr):
+            parent.args = [cast if a is node else a for a in parent.args]
+        inserted += 1
+    set_parents(root)
+    return inserted
+
+
+# ---------------------------------------------------------------------- #
+# constant folding
+# ---------------------------------------------------------------------- #
+class ConstantEnvironment:
+    """Maps variable names to known compile-time values.
+
+    ParaGraph computes loop-iteration counts statically; for loops bounded by
+    a problem-size variable (``for (i = 0; i < N; i++)``) the bound is taken
+    from this environment, which the data pipeline fills with the kernel's
+    problem-size parameters.
+    """
+
+    def __init__(self, values: Optional[Mapping[str, Number]] = None) -> None:
+        self.values: Dict[str, Number] = dict(values or {})
+
+    def get(self, name: str) -> Optional[Number]:
+        return self.values.get(name)
+
+    def with_values(self, extra: Mapping[str, Number]) -> "ConstantEnvironment":
+        merged = dict(self.values)
+        merged.update(extra)
+        return ConstantEnvironment(merged)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.values
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"ConstantEnvironment({self.values!r})"
+
+
+_FOLDABLE_BINOPS = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a / b if isinstance(a, float) or isinstance(b, float) else (a // b if b else 0),
+    "%": lambda a, b: a % b if b else 0,
+    "<<": lambda a, b: int(a) << int(b),
+    ">>": lambda a, b: int(a) >> int(b),
+    "<": lambda a, b: int(a < b),
+    ">": lambda a, b: int(a > b),
+    "<=": lambda a, b: int(a <= b),
+    ">=": lambda a, b: int(a >= b),
+    "==": lambda a, b: int(a == b),
+    "!=": lambda a, b: int(a != b),
+    "&&": lambda a, b: int(bool(a) and bool(b)),
+    "||": lambda a, b: int(bool(a) or bool(b)),
+    "&": lambda a, b: int(a) & int(b),
+    "|": lambda a, b: int(a) | int(b),
+    "^": lambda a, b: int(a) ^ int(b),
+}
+
+
+def evaluate_constant(
+    node: Optional[ASTNode],
+    env: Optional[ConstantEnvironment] = None,
+) -> Optional[Number]:
+    """Try to evaluate *node* to a numeric constant.
+
+    Returns ``None`` when the expression is not statically evaluable with the
+    provided environment.
+    """
+    if node is None:
+        return None
+    env = env or ConstantEnvironment()
+    if isinstance(node, IntegerLiteral):
+        return node.value
+    if isinstance(node, FloatingLiteral):
+        return node.value
+    if isinstance(node, (ParenExpr, ImplicitCastExpr, CStyleCastExpr)):
+        return evaluate_constant(node.children[0] if node.children else None, env)
+    if isinstance(node, DeclRefExpr):
+        value = env.get(node.name)
+        if value is not None:
+            return value
+        decl = node.referenced_decl
+        if isinstance(decl, VarDecl) and decl.init is not None:
+            return evaluate_constant(decl.init, env)
+        return None
+    if isinstance(node, UnaryOperator):
+        value = evaluate_constant(node.operand, env)
+        if value is None:
+            return None
+        if node.opcode == "-":
+            return -value
+        if node.opcode == "+":
+            return value
+        if node.opcode == "!":
+            return int(not value)
+        if node.opcode == "~":
+            return ~int(value)
+        return None
+    if isinstance(node, BinaryOperator):
+        lhs = evaluate_constant(node.lhs, env)
+        rhs = evaluate_constant(node.rhs, env)
+        if lhs is None or rhs is None:
+            return None
+        folder = _FOLDABLE_BINOPS.get(node.opcode)
+        if folder is None:
+            return None
+        try:
+            return folder(lhs, rhs)
+        except ZeroDivisionError:
+            return None
+    if isinstance(node, ConditionalOperator):
+        cond = evaluate_constant(node.cond, env)
+        if cond is None:
+            return None
+        branch = node.true_expr if cond else node.false_expr
+        return evaluate_constant(branch, env)
+    if isinstance(node, SizeOfExpr):
+        sizes = {"char": 1, "short": 2, "int": 4, "float": 4, "long": 8,
+                 "double": 8, "size_t": 8}
+        for name, size in sizes.items():
+            if name in node.type_name:
+                return size
+        return 8
+    return None
+
+
+# ---------------------------------------------------------------------- #
+# loop trip-count analysis
+# ---------------------------------------------------------------------- #
+def loop_counter_name(loop: ForStmt) -> Optional[str]:
+    """Return the induction-variable name of a canonical for loop."""
+    init = loop.init
+    if isinstance(init, DeclStmt) and init.children:
+        first = init.children[0]
+        if isinstance(first, VarDecl):
+            return first.name
+    node: Optional[ASTNode] = init
+    if isinstance(node, BinaryOperator) and node.is_assignment:
+        target = node.lhs
+        while isinstance(target, (ImplicitCastExpr, ParenExpr)):
+            target = target.children[0]
+        if isinstance(target, DeclRefExpr):
+            return target.name
+    return None
+
+
+def _initial_value(loop: ForStmt, env: ConstantEnvironment) -> Optional[Number]:
+    init = loop.init
+    if isinstance(init, DeclStmt) and init.children:
+        first = init.children[0]
+        if isinstance(first, VarDecl):
+            return evaluate_constant(first.init, env)
+    if isinstance(init, BinaryOperator) and init.is_assignment:
+        return evaluate_constant(init.rhs, env)
+    return None
+
+
+def _bound_and_op(loop: ForStmt, counter: str, env: ConstantEnvironment):
+    cond = loop.cond
+    while isinstance(cond, (ParenExpr, ImplicitCastExpr)):
+        cond = cond.children[0]
+    if not isinstance(cond, BinaryOperator):
+        return None, None
+    lhs, rhs, op = cond.lhs, cond.rhs, cond.opcode
+
+    def base_name(expr: ASTNode) -> Optional[str]:
+        while isinstance(expr, (ImplicitCastExpr, ParenExpr)):
+            expr = expr.children[0]
+        return expr.name if isinstance(expr, DeclRefExpr) else None
+
+    if base_name(lhs) == counter:
+        return evaluate_constant(rhs, env), op
+    if base_name(rhs) == counter:
+        flipped = {"<": ">", ">": "<", "<=": ">=", ">=": "<="}.get(op, op)
+        return evaluate_constant(lhs, env), flipped
+    return None, None
+
+
+def _step(loop: ForStmt, counter: str, env: ConstantEnvironment) -> Optional[Number]:
+    inc = loop.inc
+    while isinstance(inc, (ParenExpr,)):
+        inc = inc.children[0]
+    if isinstance(inc, UnaryOperator) and inc.opcode in {"++", "--"}:
+        return 1 if inc.opcode == "++" else -1
+    if isinstance(inc, BinaryOperator):
+        if inc.opcode in {"+=", "-="}:
+            step = evaluate_constant(inc.rhs, env)
+            if step is None:
+                return None
+            return step if inc.opcode == "+=" else -step
+        if inc.opcode == "=" :
+            rhs = inc.rhs
+            while isinstance(rhs, (ParenExpr, ImplicitCastExpr)):
+                rhs = rhs.children[0]
+            if isinstance(rhs, BinaryOperator) and rhs.opcode in {"+", "-"}:
+                step = evaluate_constant(rhs.rhs, env)
+                if step is None:
+                    return None
+                return step if rhs.opcode == "+" else -step
+    return None
+
+
+def estimate_trip_count(
+    loop: ForStmt,
+    env: Optional[ConstantEnvironment] = None,
+    default: int = 1,
+) -> int:
+    """Statically estimate the number of iterations of a ``for`` loop.
+
+    The analysis handles the canonical OpenMP loop forms
+    ``for (i = a; i (<|<=|>|>=) b; i (++|--|+=c|-=c))``.  When the bounds are
+    not statically known the *default* is returned — the paper applies the
+    same idea ("we first observe the number of iterations in a loop"), with
+    the problem size supplied by the dataset generator.
+    """
+    env = env or ConstantEnvironment()
+    counter = loop_counter_name(loop)
+    if counter is None:
+        return default
+    start = _initial_value(loop, env)
+    bound, op = _bound_and_op(loop, counter, env)
+    step = _step(loop, counter, env)
+    if start is None or bound is None or step is None or op is None or step == 0:
+        return default
+    if op in {"<", "<="} and step > 0:
+        span = bound - start + (1 if op == "<=" else 0)
+    elif op in {">", ">="} and step < 0:
+        span = start - bound + (1 if op == ">=" else 0)
+        step = -step
+    else:
+        return default
+    if span <= 0:
+        return 0
+    trips = int((span + step - 1) // step)
+    return max(trips, 0)
+
+
+def analyze(root: ASTNode, env: Optional[ConstantEnvironment] = None) -> ASTNode:
+    """Run the full semantic pipeline (casts + reference resolution)."""
+    set_parents(root)
+    insert_implicit_casts(root)
+    resolve_references(root)
+    return root

@@ -1,0 +1,155 @@
+"""Traversal utilities over the Clang-style AST.
+
+These helpers give the rest of the library a uniform way to walk the tree:
+
+* :class:`ASTVisitor` — classic ``visit_<Kind>`` dispatch,
+* :func:`preorder` / :func:`postorder` — generator traversals,
+* :func:`terminals_in_token_order` — the syntax tokens sorted left-to-right,
+  used for the ``NextToken`` edges,
+* :func:`iter_loops`, :func:`iter_omp_directives`, :func:`loop_nest_depth` —
+  structural queries used by the OpenMP-Advisor substitute and the hardware
+  simulator.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List, Optional, Tuple
+
+from .ast_nodes import (
+    ASTNode,
+    ForStmt,
+    LOOP_KINDS,
+    OMPExecutableDirective,
+)
+
+
+class ASTVisitor:
+    """Dispatching visitor: override ``visit_<Kind>`` methods as needed.
+
+    ``generic_visit`` recurses into children; each specific visitor is
+    responsible for calling it (or not) to control the traversal.
+    """
+
+    def visit(self, node: ASTNode):
+        method = getattr(self, f"visit_{node.kind}", None)
+        if method is not None:
+            return method(node)
+        return self.generic_visit(node)
+
+    def generic_visit(self, node: ASTNode):
+        for child in node.children:
+            self.visit(child)
+        return None
+
+
+def preorder(root: ASTNode) -> Iterator[ASTNode]:
+    """Yield nodes parent-before-children, siblings left-to-right."""
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        yield node
+        stack.extend(reversed(node.children))
+
+
+def postorder(root: ASTNode) -> Iterator[ASTNode]:
+    """Yield nodes children-before-parent."""
+    stack: List[Tuple[ASTNode, bool]] = [(root, False)]
+    while stack:
+        node, expanded = stack.pop()
+        if expanded:
+            yield node
+            continue
+        stack.append((node, True))
+        stack.extend((child, False) for child in reversed(node.children))
+
+
+def count_nodes(root: ASTNode, predicate: Optional[Callable[[ASTNode], bool]] = None) -> int:
+    """Count nodes in the subtree, optionally filtered by *predicate*."""
+    if predicate is None:
+        return sum(1 for _ in preorder(root))
+    return sum(1 for node in preorder(root) if predicate(node))
+
+
+def terminals_in_token_order(root: ASTNode) -> List[ASTNode]:
+    """Return the syntax-token nodes in source (left-to-right) order.
+
+    Terminal nodes carry the lexer token index; nodes without one (synthetic
+    nodes) keep their pre-order position, which preserves a stable order.
+    """
+    terminals: List[Tuple[int, int, ASTNode]] = []
+    for order, node in enumerate(preorder(root)):
+        if node.is_terminal:
+            key = node.token_index if node.token_index >= 0 else 10**9 + order
+            terminals.append((key, order, node))
+    terminals.sort(key=lambda item: (item[0], item[1]))
+    return [node for _, _, node in terminals]
+
+
+def iter_loops(root: ASTNode) -> Iterator[ASTNode]:
+    """Yield every loop statement (for/while/do) in pre-order."""
+    for node in preorder(root):
+        if node.kind in LOOP_KINDS:
+            yield node
+
+
+def iter_for_loops(root: ASTNode) -> Iterator[ForStmt]:
+    """Yield every ``ForStmt`` in pre-order."""
+    for node in preorder(root):
+        if isinstance(node, ForStmt):
+            yield node
+
+
+def iter_omp_directives(root: ASTNode) -> Iterator[OMPExecutableDirective]:
+    """Yield every OpenMP directive node in pre-order."""
+    for node in preorder(root):
+        if isinstance(node, OMPExecutableDirective):
+            yield node
+
+
+def enclosing_loops(node: ASTNode) -> List[ASTNode]:
+    """Return the chain of loop ancestors of *node*, outermost first."""
+    chain: List[ASTNode] = []
+    current = node.parent
+    while current is not None:
+        if current.kind in LOOP_KINDS:
+            chain.append(current)
+        current = current.parent
+    chain.reverse()
+    return chain
+
+
+def loop_nest_depth(root: ASTNode) -> int:
+    """Maximum depth of nested loops in the subtree."""
+    best = 0
+
+    def visit(node: ASTNode, depth: int) -> None:
+        nonlocal best
+        if node.kind in LOOP_KINDS:
+            depth += 1
+            best = max(best, depth)
+        for child in node.children:
+            visit(child, depth)
+
+    visit(root, 0)
+    return best
+
+
+def perfectly_nested_for_loops(loop: ForStmt) -> List[ForStmt]:
+    """Return the chain of perfectly-nested for loops rooted at *loop*.
+
+    A nest is perfect when each loop body contains exactly one statement and
+    that statement is itself a ``ForStmt`` (possibly via a single-statement
+    compound).  This determines how many levels ``collapse(n)`` may legally
+    cover, which is what the variant generator needs.
+    """
+    chain = [loop]
+    current = loop
+    while True:
+        body = current.body
+        statements = body.children if body is not None else []
+        if len(statements) == 1 and isinstance(statements[0], ForStmt):
+            current = statements[0]
+            chain.append(current)
+            continue
+        break
+    return chain

@@ -1,0 +1,27 @@
+"""``repro.compoff`` — the COMPOFF baseline cost model.
+
+The state-of-the-art comparator of the paper (Figs. 8–9): an MLP over
+hand-engineered static operation-count features.
+"""
+
+from .features import (
+    FEATURE_NAMES,
+    NUM_FEATURES,
+    FeatureSample,
+    build_feature_matrix,
+    build_target_vector,
+    extract_features,
+)
+from .model import COMPOFFConfig, COMPOFFHistory, COMPOFFModel
+
+__all__ = [
+    "COMPOFFConfig",
+    "COMPOFFHistory",
+    "COMPOFFModel",
+    "FEATURE_NAMES",
+    "FeatureSample",
+    "NUM_FEATURES",
+    "build_feature_matrix",
+    "build_target_vector",
+    "extract_features",
+]

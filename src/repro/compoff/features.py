@@ -1,0 +1,103 @@
+"""Hand-engineered static features for the COMPOFF baseline (paper §II-C/D).
+
+COMPOFF "requires figuring out how many operations are contained within a
+kernel" — i.e. it is a feed-forward network over manually engineered,
+statically-extracted counts.  This module reproduces that feature set from
+the same kernel analysis the rest of the library uses:
+
+* operation counts: arithmetic, comparisons, memory accesses, math calls,
+* loop-nest structure: depth, trip counts, total / parallel iterations,
+* transformation descriptors: GPU offload flag, collapse level, data-transfer
+  bytes,
+* execution configuration: number of teams and threads.
+
+The contrast with ParaGraph is intentional and is the point of Figs. 8–9:
+these features are a lossy summary of the kernel, whereas ParaGraph hands
+the model the whole weighted program graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..advisor.kernel_analysis import analyze_kernel_cached
+from ..advisor.transformations import KernelVariant
+
+#: Order of the feature vector entries produced by :func:`extract_features`.
+FEATURE_NAMES: Sequence[str] = (
+    "log_arithmetic_ops",
+    "log_comparison_ops",
+    "log_memory_accesses",
+    "log_math_calls",
+    "log_total_iterations",
+    "log_parallel_iterations",
+    "loop_nest_depth",
+    "collapse_level",
+    "is_gpu",
+    "includes_data_transfer",
+    "log_transfer_bytes",
+    "arithmetic_intensity",
+    "has_reduction",
+    "has_branches",
+    "log_num_teams",
+    "log_num_threads",
+)
+
+NUM_FEATURES = len(FEATURE_NAMES)
+
+
+def extract_features(
+    variant: KernelVariant,
+    sizes: Optional[Mapping[str, int]] = None,
+    num_teams: int = 1,
+    num_threads: int = 1,
+) -> np.ndarray:
+    """Return the COMPOFF feature vector for one kernel variant configuration."""
+    concrete = variant.kernel.sizes_with_defaults(sizes)
+    analysis = analyze_kernel_cached(variant.kernel, concrete)
+    transfer_bytes = (variant.kernel.transfer_bytes(concrete)
+                      if variant.includes_data_transfer else 0)
+    parallel_iterations = analysis.parallel_iterations_with_collapse(variant.collapse)
+    features = np.array([
+        np.log1p(analysis.operations.arithmetic),
+        np.log1p(analysis.operations.comparisons),
+        np.log1p(analysis.operations.memory_accesses),
+        np.log1p(analysis.operations.math_calls),
+        np.log1p(analysis.total_iterations),
+        np.log1p(parallel_iterations),
+        float(analysis.loop_nest_depth),
+        float(variant.collapse),
+        1.0 if variant.is_gpu else 0.0,
+        1.0 if variant.includes_data_transfer else 0.0,
+        np.log1p(transfer_bytes),
+        float(analysis.arithmetic_intensity),
+        1.0 if analysis.has_reduction else 0.0,
+        1.0 if analysis.has_branches else 0.0,
+        np.log1p(float(num_teams)),
+        np.log1p(float(num_threads)),
+    ], dtype=np.float64)
+    return features
+
+
+@dataclass
+class FeatureSample:
+    """One (feature vector, runtime) pair with provenance metadata."""
+
+    features: np.ndarray
+    runtime_us: float
+    metadata: dict
+
+
+def build_feature_matrix(samples: Sequence[FeatureSample]) -> np.ndarray:
+    """Stack sample feature vectors into an (n, NUM_FEATURES) matrix."""
+    if not samples:
+        return np.zeros((0, NUM_FEATURES))
+    return np.stack([sample.features for sample in samples], axis=0)
+
+
+def build_target_vector(samples: Sequence[FeatureSample]) -> np.ndarray:
+    """Runtime labels of the samples, microseconds."""
+    return np.array([sample.runtime_us for sample in samples], dtype=np.float64)

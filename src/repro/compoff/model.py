@@ -1,0 +1,98 @@
+"""The COMPOFF cost model: an MLP regressor over static kernel features.
+
+COMPOFF (Mishra et al., IPDPSW 2022) is "a fully-connected feed-forward
+network, also referred to as multi-layer perceptrons (MLPs), which are
+effectively stacked layers of linear regression", predicting OpenMP
+offloading cost from manually engineered features.  This reproduction keeps
+that architecture (MLP + MSE + Adam) on top of the feature extraction in
+:mod:`repro.compoff.features`, so the comparison figures (Figs. 8–9) contrast
+the two approaches on equal training data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..ml.scaler import LogMinMaxScaler, MinMaxScaler
+from ..nn.layers import MLP
+from ..nn.losses import MSELoss
+from ..nn.optim import Adam
+from ..nn.tensor import Tensor
+from .features import NUM_FEATURES, FeatureSample, build_feature_matrix, build_target_vector
+
+
+@dataclass
+class COMPOFFConfig:
+    """Hyper-parameters of the COMPOFF baseline."""
+
+    hidden_dims: Sequence[int] = (64, 64, 32)
+    epochs: int = 200
+    batch_size: int = 64
+    learning_rate: float = 1e-3
+    seed: Optional[int] = 0
+
+
+@dataclass
+class COMPOFFHistory:
+    """Per-epoch training loss (for convergence diagnostics)."""
+
+    train_losses: List[float] = field(default_factory=list)
+
+
+class COMPOFFModel:
+    """Train / predict wrapper around the feature MLP."""
+
+    def __init__(self, config: Optional[COMPOFFConfig] = None) -> None:
+        self.config = config or COMPOFFConfig()
+        rng_seed = self.config.seed
+        self.network = MLP(NUM_FEATURES, self.config.hidden_dims, 1,
+                           rng=np.random.default_rng(rng_seed))
+        self.feature_scaler = MinMaxScaler()
+        self.target_scaler = LogMinMaxScaler()
+        self._fitted = False
+
+    # ------------------------------------------------------------------ #
+    def fit(self, samples: Sequence[FeatureSample]) -> COMPOFFHistory:
+        """Train on (features, runtime) samples; returns the loss history."""
+        if not samples:
+            raise ValueError("COMPOFF requires a non-empty training set")
+        config = self.config
+        features = self.feature_scaler.fit_transform(build_feature_matrix(samples))
+        targets = self.target_scaler.fit_transform(build_target_vector(samples))
+        rng = np.random.default_rng(config.seed)
+        optimizer = Adam(self.network.parameters(), lr=config.learning_rate)
+        loss_fn = MSELoss()
+        history = COMPOFFHistory()
+        num_samples = features.shape[0]
+        for _ in range(config.epochs):
+            order = rng.permutation(num_samples)
+            epoch_losses = []
+            for start in range(0, num_samples, config.batch_size):
+                idx = order[start:start + config.batch_size]
+                optimizer.zero_grad()
+                prediction = self.network(Tensor(features[idx])).reshape(-1)
+                loss = loss_fn(prediction, Tensor(targets[idx]))
+                loss.backward()
+                optimizer.step()
+                epoch_losses.append(loss.item())
+            history.train_losses.append(float(np.mean(epoch_losses)))
+        self._fitted = True
+        return history
+
+    def predict(self, samples: Sequence[FeatureSample]) -> np.ndarray:
+        """Predict runtimes (microseconds) for the given samples."""
+        if not self._fitted:
+            raise RuntimeError("COMPOFFModel.fit must be called before predict")
+        if not samples:
+            return np.zeros(0)
+        features = self.feature_scaler.transform(build_feature_matrix(samples))
+        self.network.eval()
+        try:
+            scaled = self.network(Tensor(features)).reshape(-1).data
+        finally:
+            self.network.train()
+        scaled = np.clip(scaled, 0.0, 1.0)
+        return self.target_scaler.inverse_transform(scaled)

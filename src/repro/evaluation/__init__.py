@@ -1,0 +1,39 @@
+"""``repro.evaluation`` — drivers that regenerate the paper's tables & figures.
+
+* Tables II & III and Figures 4–6: :mod:`repro.evaluation.experiments`
+* Table IV and Figure 7 (ablation): :mod:`repro.evaluation.ablation`
+* Figures 8 & 9 (vs. COMPOFF): :mod:`repro.evaluation.comparison`
+* Text rendering of all of the above: :mod:`repro.evaluation.reports`
+"""
+
+from .ablation import AblationResult, run_ablation, run_mi50_ablation_curves
+from .comparison import ComparisonResult, run_comparison
+from .experiments import (
+    ExperimentScale,
+    figure4_series,
+    figure5_series,
+    figure6_series,
+    run_main_experiment,
+    table2_rows,
+    table3_rows,
+)
+from .reports import format_curves, format_series, format_table, table1_text
+
+__all__ = [
+    "AblationResult",
+    "ComparisonResult",
+    "ExperimentScale",
+    "figure4_series",
+    "figure5_series",
+    "figure6_series",
+    "format_curves",
+    "format_series",
+    "format_table",
+    "run_ablation",
+    "run_comparison",
+    "run_main_experiment",
+    "run_mi50_ablation_curves",
+    "table1_text",
+    "table2_rows",
+    "table3_rows",
+]

@@ -1,0 +1,105 @@
+"""Ablation study drivers (Table IV and Fig. 7).
+
+The paper compares three levels of the representation — Raw AST, Augmented
+AST, ParaGraph — by training the same GNN on each and reporting the
+validation RMSE per platform (Table IV) and the training curves on the MI50
+(Fig. 7).  These drivers rebuild the datasets with the requested
+:class:`~repro.paragraph.variants.GraphVariant` (the simulated runtimes are
+deterministic per configuration, so all three variants see identical labels)
+and train one model per variant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..hardware.specs import ALL_PLATFORMS, HardwareSpec, MI50
+from ..ml.trainer import History, TrainingConfig
+from ..paragraph.encoders import GraphEncoder
+from ..paragraph.variants import ABLATION_ORDER, GraphVariant
+from ..pipeline.dataset_builder import DatasetBuilder
+from ..pipeline.variant_generation import SweepConfig, generate_configurations
+from ..pipeline.workflow import PlatformResult, WorkflowConfig, train_on_dataset
+
+
+@dataclass
+class AblationResult:
+    """Per-variant, per-platform results of the ablation."""
+
+    results: Dict[str, Dict[str, PlatformResult]] = field(default_factory=dict)
+    # results[graph_variant.value][platform_name]
+
+    def rmse_table(self) -> List[Dict[str, object]]:
+        """Rows shaped like Table IV: one row per platform, one column per variant."""
+        platforms: List[str] = []
+        for by_platform in self.results.values():
+            for name in by_platform:
+                if name not in platforms:
+                    platforms.append(name)
+        rows: List[Dict[str, object]] = []
+        for platform in platforms:
+            row: Dict[str, object] = {"platform": platform}
+            for variant_value, by_platform in self.results.items():
+                if platform in by_platform:
+                    row[variant_value] = by_platform[platform].metrics["rmse"] / 1000.0
+            rows.append(row)
+        return rows
+
+    def histories_for(self, platform_name: str) -> Dict[str, History]:
+        """Training histories per variant on one platform (Fig. 7)."""
+        return {
+            variant_value: by_platform[platform_name].history
+            for variant_value, by_platform in self.results.items()
+            if platform_name in by_platform
+        }
+
+
+def run_ablation(
+    sweep: Optional[SweepConfig] = None,
+    training: Optional[TrainingConfig] = None,
+    platforms: Sequence[HardwareSpec] = ALL_PLATFORMS,
+    variants: Sequence[GraphVariant] = ABLATION_ORDER,
+    hidden_dim: int = 24,
+    seed: int = 0,
+) -> AblationResult:
+    """Train the model on every (graph variant, platform) combination."""
+    sweep = sweep or SweepConfig(size_scales=(0.5, 1.0), team_counts=(64,),
+                                 thread_counts=(4, 16))
+    training = training or TrainingConfig(epochs=25, batch_size=32,
+                                          learning_rate=3e-3, seed=seed)
+    configurations = generate_configurations(sweep)
+    result = AblationResult()
+    for graph_variant in variants:
+        encoder = GraphEncoder()
+        builder = DatasetBuilder(platforms=platforms, graph_variant=graph_variant,
+                                 encoder=encoder)
+        build = builder.build(configurations=configurations)
+        workflow_config = WorkflowConfig(
+            sweep=sweep,
+            graph_variant=graph_variant,
+            training=training,
+            hidden_dim=hidden_dim,
+            seed=seed,
+        )
+        by_platform: Dict[str, PlatformResult] = {}
+        for platform in platforms:
+            dataset = build.datasets[platform.name]
+            if len(dataset) < 4:
+                continue
+            by_platform[platform.name] = train_on_dataset(
+                dataset, encoder, workflow_config, platform)
+        result.results[graph_variant.value] = by_platform
+    return result
+
+
+def run_mi50_ablation_curves(
+    sweep: Optional[SweepConfig] = None,
+    training: Optional[TrainingConfig] = None,
+    hidden_dim: int = 24,
+    seed: int = 0,
+) -> Dict[str, History]:
+    """Fig. 7: RMSE-per-epoch curves of the three variants on the AMD MI50."""
+    ablation = run_ablation(sweep=sweep, training=training, platforms=(MI50,),
+                            hidden_dim=hidden_dim, seed=seed)
+    return ablation.histories_for(MI50.name)

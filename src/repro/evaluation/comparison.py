@@ -1,0 +1,142 @@
+"""ParaGraph vs. COMPOFF comparison (Figs. 8 and 9).
+
+The paper compares the two cost models on the NVIDIA V100 data: Fig. 8 plots
+the per-data-point prediction error of each model against the actual runtime
+(COMPOFF is noticeably worse on short-running kernels), and Fig. 9 plots
+predicted vs. actual runtime for both (ParaGraph correlates more tightly).
+
+The driver here trains both models on an identical train/validation split of
+the same (simulated) V100 measurements: ParaGraph sees the program graphs,
+COMPOFF sees the hand-engineered operation-count features.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..compoff.features import FeatureSample, extract_features
+from ..compoff.model import COMPOFFConfig, COMPOFFModel
+from ..gnn.models import ParaGraphModel
+from ..hardware.specs import HardwareSpec, V100
+from ..ml import metrics as M
+from ..ml.dataset import GraphDataset
+from ..ml.trainer import Trainer, TrainingConfig
+from ..paragraph.encoders import GraphEncoder
+from ..paragraph.variants import GraphVariant
+from ..pipeline.graph_generation import encode_configuration
+from ..pipeline.runtime_collection import RuntimeCollector
+from ..pipeline.variant_generation import (
+    Configuration,
+    SweepConfig,
+    generate_configurations,
+)
+
+
+@dataclass
+class ComparisonResult:
+    """Predictions of both models on the shared validation split."""
+
+    platform: HardwareSpec
+    actual_us: np.ndarray
+    paragraph_predictions_us: np.ndarray
+    compoff_predictions_us: np.ndarray
+
+    # ------------------------------------------------------------------ #
+    def figure8_points(self) -> Dict[str, List[Tuple[float, float]]]:
+        """(actual runtime, relative error) pairs per model (Fig. 8)."""
+        span = M.runtime_range(self.actual_us)
+        out: Dict[str, List[Tuple[float, float]]] = {}
+        for name, predictions in (("ParaGraph", self.paragraph_predictions_us),
+                                  ("COMPOFF", self.compoff_predictions_us)):
+            errors = np.abs(self.actual_us - predictions) / span
+            out[name] = list(zip(self.actual_us.tolist(), errors.tolist()))
+        return out
+
+    def figure9_points(self) -> Dict[str, List[Tuple[float, float]]]:
+        """(actual, predicted) runtime pairs per model (Fig. 9)."""
+        return {
+            "ParaGraph": list(zip(self.actual_us.tolist(),
+                                  self.paragraph_predictions_us.tolist())),
+            "COMPOFF": list(zip(self.actual_us.tolist(),
+                                self.compoff_predictions_us.tolist())),
+        }
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        """Scalar metrics of both models on the validation split."""
+        return {
+            "ParaGraph": M.regression_report(self.actual_us, self.paragraph_predictions_us),
+            "COMPOFF": M.regression_report(self.actual_us, self.compoff_predictions_us),
+        }
+
+
+def run_comparison(
+    platform: HardwareSpec = V100,
+    sweep: Optional[SweepConfig] = None,
+    training: Optional[TrainingConfig] = None,
+    compoff_config: Optional[COMPOFFConfig] = None,
+    hidden_dim: int = 24,
+    train_fraction: float = 0.9,
+    seed: int = 0,
+) -> ComparisonResult:
+    """Train ParaGraph and COMPOFF on the same measurements and compare."""
+    sweep = sweep or SweepConfig(size_scales=(0.5, 1.0), team_counts=(64,),
+                                 thread_counts=(4, 16))
+    training = training or TrainingConfig(epochs=25, batch_size=32,
+                                          learning_rate=3e-3, seed=seed)
+    compoff_config = compoff_config or COMPOFFConfig(epochs=150, seed=seed)
+
+    configurations = generate_configurations(sweep)
+    collector = RuntimeCollector(platform)
+    measurements = collector.collect(configurations)
+    if len(measurements) < 10:
+        raise ValueError("comparison needs at least 10 measurements; widen the sweep")
+
+    # shared split over measurement indices
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(len(measurements))
+    cut = max(1, min(int(round(train_fraction * len(measurements))), len(measurements) - 1))
+    train_idx, val_idx = order[:cut], order[cut:]
+
+    encoder = GraphEncoder()
+
+    def encode_graph(index: int):
+        measurement = measurements[index]
+        return encode_configuration(
+            measurement.configuration, encoder, measurement.runtime_us,
+            graph_variant=GraphVariant.PARAGRAPH, platform_name=platform.name)
+
+    def encode_compoff(index: int) -> FeatureSample:
+        measurement = measurements[index]
+        configuration: Configuration = measurement.configuration
+        features = extract_features(
+            configuration.variant, configuration.sizes,
+            num_teams=configuration.num_teams, num_threads=configuration.num_threads)
+        return FeatureSample(features=features, runtime_us=measurement.runtime_us,
+                             metadata=configuration.metadata)
+
+    train_graphs = GraphDataset([encode_graph(i) for i in train_idx], name="train")
+    val_graphs = GraphDataset([encode_graph(i) for i in val_idx], name="val")
+    train_features = [encode_compoff(i) for i in train_idx]
+    val_features = [encode_compoff(i) for i in val_idx]
+
+    # ParaGraph model
+    model = ParaGraphModel(node_feature_dim=encoder.feature_dim,
+                           hidden_dim=hidden_dim, seed=seed)
+    trainer = Trainer(model, training)
+    trainer.fit(train_graphs, val_graphs)
+    paragraph_predictions = trainer.predict(val_graphs)
+
+    # COMPOFF baseline
+    compoff = COMPOFFModel(compoff_config)
+    compoff.fit(train_features)
+    compoff_predictions = compoff.predict(val_features)
+
+    return ComparisonResult(
+        platform=platform,
+        actual_us=val_graphs.targets(),
+        paragraph_predictions_us=paragraph_predictions,
+        compoff_predictions_us=compoff_predictions,
+    )

@@ -1,0 +1,62 @@
+"""Plain-text rendering of the reproduced tables and figure series.
+
+The benchmarks print these so ``pytest benchmarks/ --benchmark-only`` output
+contains the same rows / series the paper reports, and ``EXPERIMENTS.md``
+records them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+
+def format_table(rows: Sequence[Mapping[str, object]],
+                 columns: Sequence[str] = (),
+                 float_format: str = "{:.4g}") -> str:
+    """Render a list of dict rows as an aligned ASCII table."""
+    if not rows:
+        return "(empty table)"
+    columns = list(columns) if columns else list(rows[0].keys())
+
+    def cell(value: object) -> str:
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    rendered = [[cell(row.get(column, "")) for column in columns] for row in rows]
+    widths = [max(len(column), *(len(r[i]) for r in rendered))
+              for i, column in enumerate(columns)]
+    header = " | ".join(column.ljust(width) for column, width in zip(columns, widths))
+    separator = "-+-".join("-" * width for width in widths)
+    body = "\n".join(" | ".join(value.ljust(width) for value, width in zip(row, widths))
+                     for row in rendered)
+    return f"{header}\n{separator}\n{body}"
+
+
+def format_series(series: Mapping[str, Mapping[str, float]],
+                  value_format: str = "{:.4f}") -> str:
+    """Render nested {series -> {x -> y}} mappings (the figure data) as text."""
+    lines: List[str] = []
+    for name, points in series.items():
+        lines.append(f"[{name}]")
+        for key, value in points.items():
+            lines.append(f"  {key:>12s}: {value_format.format(value)}")
+    return "\n".join(lines)
+
+
+def format_curves(curves: Mapping[str, Sequence[float]], every: int = 5,
+                  value_format: str = "{:.4f}") -> str:
+    """Render training curves, sampling every *every*-th epoch."""
+    lines: List[str] = []
+    for name, values in curves.items():
+        sampled = [f"{value_format.format(v)}" for i, v in enumerate(values)
+                   if i % every == 0 or i == len(values) - 1]
+        lines.append(f"{name}: " + " -> ".join(sampled))
+    return "\n".join(lines)
+
+
+def table1_text() -> str:
+    """Render Table I (benchmark applications) from the kernel registry."""
+    from ..kernels.registry import table1_rows
+
+    return format_table(table1_rows(), ("application", "num_kernels", "domain"))

@@ -1,0 +1,33 @@
+"""``repro.gnn`` — graph neural-network layers and the ParaGraph model.
+
+Substitute for PyTorch-Geometric: relational graph attention (RGAT), RGCN
+and GAT convolutions, global pooling readouts, and the full
+:class:`ParaGraphModel` (3×RGAT + auxiliary-feature branch + FC head).
+"""
+
+from .gat import GATConv
+from .message_passing import MessagePassing, add_self_loops, validate_edge_index
+from .models import COMPOFFStyleMLP, ParaGraphModel
+from .pooling import (
+    global_max_pool,
+    global_mean_max_pool,
+    global_mean_pool,
+    global_sum_pool,
+)
+from .rgat import RGATConv
+from .rgcn import RGCNConv
+
+__all__ = [
+    "COMPOFFStyleMLP",
+    "GATConv",
+    "MessagePassing",
+    "ParaGraphModel",
+    "RGATConv",
+    "RGCNConv",
+    "add_self_loops",
+    "global_max_pool",
+    "global_mean_max_pool",
+    "global_mean_pool",
+    "global_sum_pool",
+    "validate_edge_index",
+]

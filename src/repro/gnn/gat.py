@@ -1,0 +1,56 @@
+"""Plain (single-relation) Graph Attention convolution.
+
+A GAT layer is an RGAT layer with one relation; it is what the Raw-AST
+ablation effectively reduces to when only ``Child`` edges exist.  Provided
+both for the ablation benches and as a lighter-weight encoder option.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..nn.tensor import Tensor
+from .message_passing import MessagePassing
+from .rgat import RGATConv
+
+
+class GATConv(MessagePassing):
+    """Single-relation graph attention layer (wraps :class:`RGATConv`)."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        heads: int = 1,
+        negative_slope: float = 0.2,
+        use_edge_weight: bool = False,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        self.inner = RGATConv(
+            in_channels,
+            out_channels,
+            num_relations=1,
+            heads=heads,
+            negative_slope=negative_slope,
+            use_edge_weight=use_edge_weight,
+            rng=rng,
+        )
+
+    @property
+    def output_dim(self) -> int:
+        return self.inner.output_dim
+
+    def forward(
+        self,
+        x: Tensor,
+        edge_index: np.ndarray,
+        edge_type: Optional[np.ndarray] = None,
+        edge_weight: Optional[np.ndarray] = None,
+    ) -> Tensor:
+        num_edges = np.asarray(edge_index).shape[1]
+        return self.inner(x, edge_index,
+                          edge_type=np.zeros(num_edges, dtype=np.int64),
+                          edge_weight=edge_weight)

@@ -1,0 +1,184 @@
+"""The ParaGraph runtime-prediction model (paper §IV-B).
+
+Architecture, following the paper:
+
+* three RGAT graph-convolution layers with ReLU activations embed the graph,
+* a global mean pooling produces one vector per kernel graph,
+* a fully-connected layer embeds the two auxiliary features (number of teams
+  and number of threads used to execute the kernel),
+* the graph embedding and the feature embedding are concatenated and passed
+  through fully-connected layers ending in a single runtime prediction.
+
+The model consumes :class:`~repro.paragraph.encoders.GraphBatch` objects and
+predicts the (scaled) runtime for each graph in the batch.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..nn import functional as F
+from ..nn.layers import Dropout, Linear
+from ..nn.module import Module
+from ..nn.tensor import Tensor, concatenate
+from ..paragraph.encoders import GraphBatch
+from ..paragraph.edges import NUM_EDGE_TYPES
+from .gat import GATConv
+from .pooling import global_mean_max_pool, global_mean_pool, global_sum_pool
+from .rgat import RGATConv
+from .rgcn import RGCNConv
+
+
+class ParaGraphModel(Module):
+    """RGAT-based GNN predicting kernel runtime from a ParaGraph.
+
+    Parameters
+    ----------
+    node_feature_dim:
+        Width of the one-hot node features (``GraphEncoder.feature_dim``).
+    hidden_dim:
+        Width of the graph-convolution layers.
+    num_relations:
+        Number of edge types (8 for ParaGraph, 1 for the Raw AST ablation).
+    num_aux_features:
+        Number of auxiliary scalars (2: teams, threads).
+    aux_dim:
+        Width of the auxiliary-feature embedding.
+    head_dims:
+        Widths of the fully-connected layers applied after concatenation.
+    conv:
+        Which relational convolution to use: ``"rgat"`` (paper), ``"rgcn"``
+        or ``"gat"`` (design-ablation alternatives).
+    use_edge_weight:
+        Forwarded to the convolution layers; switching it off turns the model
+        into the Augmented-AST ablation even when weights are present.
+    readout:
+        Graph-level pooling: ``"mean_max"`` (default — concatenated mean and
+        max keeps both the average structure and the hot-spot magnitudes that
+        the weighted edges produce), ``"mean"`` or ``"sum"``.
+    dropout:
+        Dropout probability applied after each convolution (0 disables).
+    """
+
+    def __init__(
+        self,
+        node_feature_dim: int,
+        hidden_dim: int = 64,
+        num_relations: int = NUM_EDGE_TYPES,
+        num_aux_features: int = 2,
+        aux_dim: int = 16,
+        head_dims: Sequence[int] = (64, 32),
+        num_conv_layers: int = 3,
+        conv: str = "rgat",
+        heads: int = 1,
+        use_edge_weight: bool = True,
+        readout: str = "mean_max",
+        dropout: float = 0.0,
+        seed: Optional[int] = None,
+    ) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.node_feature_dim = node_feature_dim
+        self.hidden_dim = hidden_dim
+        self.num_relations = num_relations
+        self.conv_kind = conv
+
+        def make_conv(in_dim: int) -> Module:
+            if conv == "rgat":
+                return RGATConv(in_dim, hidden_dim, num_relations, heads=heads,
+                                use_edge_weight=use_edge_weight, rng=rng)
+            if conv == "rgcn":
+                return RGCNConv(in_dim, hidden_dim, num_relations,
+                                use_edge_weight=use_edge_weight, rng=rng)
+            if conv == "gat":
+                return GATConv(in_dim, hidden_dim, heads=heads,
+                               use_edge_weight=use_edge_weight, rng=rng)
+            raise ValueError(f"unknown convolution kind {conv!r}")
+
+        self.convs = []
+        in_dim = node_feature_dim
+        for i in range(num_conv_layers):
+            layer = make_conv(in_dim)
+            self.register_module(f"conv{i}", layer)
+            self.convs.append(layer)
+            in_dim = layer.output_dim
+
+        self.dropout = Dropout(dropout, rng=rng) if dropout > 0 else None
+        if readout not in {"mean", "sum", "mean_max"}:
+            raise ValueError(f"unknown readout {readout!r}")
+        self.readout = readout
+        self.graph_dim = in_dim * (2 if readout == "mean_max" else 1)
+
+        # graph embedding head: two FC layers with ReLU (paper §IV-B)
+        self.graph_fc1 = Linear(self.graph_dim, head_dims[0], rng=rng)
+        self.graph_fc2 = Linear(head_dims[0], head_dims[1], rng=rng)
+
+        # auxiliary feature branch (teams, threads)
+        self.aux_fc = Linear(num_aux_features, aux_dim, rng=rng)
+
+        # final prediction layer over the concatenated embeddings
+        self.out_fc = Linear(head_dims[1] + aux_dim, 1, rng=rng)
+
+    # ------------------------------------------------------------------ #
+    def encode_graphs(self, batch: GraphBatch) -> Tensor:
+        """Return the pooled per-graph embedding (before the head layers)."""
+        x = Tensor(batch.node_features)
+        for conv_layer in self.convs:
+            x = F.relu(conv_layer(x, batch.edge_index,
+                                  edge_type=batch.edge_type,
+                                  edge_weight=batch.edge_weight))
+            if self.dropout is not None:
+                x = self.dropout(x)
+        if self.readout == "sum":
+            return global_sum_pool(x, batch.batch, batch.num_graphs)
+        if self.readout == "mean_max":
+            return global_mean_max_pool(x, batch.batch, batch.num_graphs)
+        return global_mean_pool(x, batch.batch, batch.num_graphs)
+
+    def forward(self, batch: GraphBatch) -> Tensor:
+        """Predict one (scaled) runtime per graph; returns shape (batch,)."""
+        pooled = self.encode_graphs(batch)
+        g = F.relu(self.graph_fc1(pooled))
+        g = F.relu(self.graph_fc2(g))
+        aux = F.relu(self.aux_fc(Tensor(batch.aux_features)))
+        joined = concatenate([g, aux], axis=1)
+        prediction = self.out_fc(joined)
+        return prediction.reshape(-1)
+
+    def predict(self, batch: GraphBatch) -> np.ndarray:
+        """Inference helper returning a plain NumPy array."""
+        was_training = self.training
+        self.eval()
+        try:
+            return self.forward(batch).data.copy()
+        finally:
+            self.train(was_training)
+
+
+class COMPOFFStyleMLP(Module):
+    """An MLP over flat feature vectors, mirroring the COMPOFF baseline shape.
+
+    Kept in the GNN package so model-selection code can treat graph and
+    non-graph regressors uniformly; the actual COMPOFF feature extraction
+    lives in :mod:`repro.compoff`.
+    """
+
+    def __init__(self, num_features: int, hidden_dims: Sequence[int] = (64, 64, 32),
+                 seed: Optional[int] = None) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        dims = [num_features] + list(hidden_dims)
+        self.layers = []
+        for i in range(len(dims) - 1):
+            layer = Linear(dims[i], dims[i + 1], rng=rng)
+            self.register_module(f"fc{i}", layer)
+            self.layers.append(layer)
+        self.out = Linear(dims[-1], 1, rng=rng)
+
+    def forward(self, features: Tensor) -> Tensor:
+        x = features if isinstance(features, Tensor) else Tensor(features)
+        for layer in self.layers:
+            x = F.relu(layer(x))
+        return self.out(x).reshape(-1)

@@ -1,0 +1,43 @@
+"""Graph-level pooling: reduce per-node embeddings to one vector per graph."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import functional as F
+from ..nn.tensor import Tensor, concatenate
+
+
+def global_mean_pool(x: Tensor, batch: np.ndarray, num_graphs: int) -> Tensor:
+    """Average node embeddings per graph (the paper's readout)."""
+    return F.segment_mean(x, np.asarray(batch, dtype=np.int64), num_graphs)
+
+
+def global_sum_pool(x: Tensor, batch: np.ndarray, num_graphs: int) -> Tensor:
+    """Sum node embeddings per graph."""
+    return F.segment_sum(x, np.asarray(batch, dtype=np.int64), num_graphs)
+
+
+def global_max_pool(x: Tensor, batch: np.ndarray, num_graphs: int) -> Tensor:
+    """Per-graph elementwise maximum (non-differentiable ties broken evenly)."""
+    batch = np.asarray(batch, dtype=np.int64)
+    # compute the max per graph on raw data, then recover gradients by masking
+    data = x.data
+    seg_max = np.full((num_graphs, data.shape[1]), -np.inf)
+    np.maximum.at(seg_max, batch, data)
+    seg_max[~np.isfinite(seg_max)] = 0.0
+    mask = (data == seg_max[batch]).astype(np.float64)
+    # normalize ties so gradient mass stays 1 per (graph, feature)
+    tie_counts = np.zeros_like(seg_max)
+    np.add.at(tie_counts, batch, mask)
+    tie_counts = np.maximum(tie_counts, 1.0)
+    weighted = x * Tensor(mask / tie_counts[batch])
+    return F.segment_sum(weighted, batch, num_graphs)
+
+
+def global_mean_max_pool(x: Tensor, batch: np.ndarray, num_graphs: int) -> Tensor:
+    """Concatenation of mean and max pooling (richer readout variant)."""
+    return concatenate(
+        [global_mean_pool(x, batch, num_graphs), global_max_pool(x, batch, num_graphs)],
+        axis=1,
+    )

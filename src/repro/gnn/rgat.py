@@ -1,0 +1,164 @@
+"""Relational Graph Attention convolution (RGAT, Busbridge et al. 2019).
+
+The ParaGraph model uses three RGAT layers as its graph encoder (§IV-B of the
+paper: "the model uses three graph convolution layers based on RGAT").  RGAT
+extends GAT to multi-relational graphs: every relation (edge type) has its own
+projection matrix and its own attention parameters, and "attention logits are
+computed per each edge type" (§III-B).
+
+This implementation follows the ARGAT (across-relation) normalization: the
+attention coefficients of *all* edges entering a node — regardless of their
+relation — are normalized jointly with a softmax.  ParaGraph's Child-edge
+weights enter the layer multiplicatively: each message is scaled by
+``1 + w_e`` where ``w_e`` is the (scaled) edge weight, so heavier edges (hot
+loop bodies) contribute proportionally more to the embedding, while the
+weightless augmentation edges (w = 0) are unaffected.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..nn import functional as F
+from ..nn import init
+from ..nn.module import Parameter
+from ..nn.tensor import Tensor, concatenate
+from .message_passing import MessagePassing, validate_edge_index
+
+
+class RGATConv(MessagePassing):
+    """One relational graph-attention layer.
+
+    Parameters
+    ----------
+    in_channels, out_channels:
+        Input / output node-feature dimensionality.
+    num_relations:
+        Number of edge types (8 for ParaGraph; 1 collapses to plain GAT).
+    heads:
+        Number of attention heads; head outputs are concatenated, so the
+        effective output width is ``out_channels * heads``.
+    negative_slope:
+        Slope of the LeakyReLU applied to attention logits.
+    use_edge_weight:
+        Whether to modulate messages with the ParaGraph edge weights (this is
+        the switch the ablation study flips between Augmented AST and full
+        ParaGraph).
+    add_self_messages:
+        Add a learned self-transformation of each node to the aggregated
+        messages (keeps information flowing for isolated nodes).
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        num_relations: int,
+        heads: int = 1,
+        negative_slope: float = 0.2,
+        use_edge_weight: bool = True,
+        add_self_messages: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if num_relations < 1:
+            raise ValueError("num_relations must be >= 1")
+        rng = rng or np.random.default_rng()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.num_relations = num_relations
+        self.heads = heads
+        self.negative_slope = negative_slope
+        self.use_edge_weight = use_edge_weight
+        self.add_self_messages = add_self_messages
+
+        # one projection and one attention vector pair per relation
+        self.weight = Parameter(
+            init.xavier_uniform((num_relations, in_channels, heads * out_channels), rng))
+        self.att_src = Parameter(
+            init.xavier_uniform((num_relations, heads, out_channels), rng))
+        self.att_dst = Parameter(
+            init.xavier_uniform((num_relations, heads, out_channels), rng))
+        if add_self_messages:
+            self.self_weight = Parameter(
+                init.xavier_uniform((in_channels, heads * out_channels), rng))
+        else:
+            self.self_weight = None
+        self.bias = Parameter(np.zeros(heads * out_channels))
+
+    # ------------------------------------------------------------------ #
+    @property
+    def output_dim(self) -> int:
+        return self.heads * self.out_channels
+
+    def forward(
+        self,
+        x: Tensor,
+        edge_index: np.ndarray,
+        edge_type: Optional[np.ndarray] = None,
+        edge_weight: Optional[np.ndarray] = None,
+    ) -> Tensor:
+        num_nodes = x.shape[0]
+        edge_index = validate_edge_index(edge_index, num_nodes)
+        num_edges = edge_index.shape[1]
+        if edge_type is None:
+            edge_type = np.zeros(num_edges, dtype=np.int64)
+        else:
+            edge_type = np.asarray(edge_type, dtype=np.int64)
+        if edge_type.shape != (num_edges,):
+            raise ValueError("edge_type must have one entry per edge")
+        if edge_type.size and (edge_type.min() < 0 or edge_type.max() >= self.num_relations):
+            raise ValueError("edge_type outside [0, num_relations)")
+        if edge_weight is None:
+            edge_weight = np.zeros(num_edges, dtype=np.float64)
+        else:
+            edge_weight = np.asarray(edge_weight, dtype=np.float64)
+
+        heads, out_channels = self.heads, self.out_channels
+
+        if num_edges == 0:
+            aggregated = Tensor(np.zeros((num_nodes, heads * out_channels)))
+        else:
+            logits_parts: List[Tensor] = []
+            messages_parts: List[Tensor] = []
+            dst_parts: List[np.ndarray] = []
+            for relation in range(self.num_relations):
+                mask = edge_type == relation
+                if not mask.any():
+                    continue
+                src = edge_index[0, mask]
+                dst = edge_index[1, mask]
+                weights = edge_weight[mask]
+                # project all nodes with this relation's matrix, then gather
+                projected = (x @ self.weight[relation]).reshape(num_nodes, heads, out_channels)
+                h_src = projected.index_select(src)          # (e_r, H, C)
+                h_dst = projected.index_select(dst)
+                logit = (h_src * self.att_src[relation]).sum(axis=2) \
+                    + (h_dst * self.att_dst[relation]).sum(axis=2)   # (e_r, H)
+                logit = F.leaky_relu(logit, self.negative_slope)
+                message = h_src
+                if self.use_edge_weight:
+                    scale = (1.0 + weights)[:, None, None]
+                    message = message * Tensor(scale)
+                logits_parts.append(logit)
+                messages_parts.append(message)
+                dst_parts.append(dst)
+
+            logits = concatenate(logits_parts, axis=0)          # (E, H)
+            messages = concatenate(messages_parts, axis=0)      # (E, H, C)
+            dst_all = np.concatenate(dst_parts)
+            # across-relation attention normalization per destination node
+            alpha = F.segment_softmax(logits, dst_all, num_nodes)   # (E, H)
+            weighted = messages * alpha.reshape(alpha.shape[0], heads, 1)
+            aggregated = self.aggregate_sum(weighted, dst_all, num_nodes)
+            aggregated = aggregated.reshape(num_nodes, heads * out_channels)
+
+        if self.self_weight is not None:
+            aggregated = aggregated + (x @ self.self_weight)
+        return aggregated + self.bias
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"RGATConv({self.in_channels}, {self.out_channels}, "
+                f"relations={self.num_relations}, heads={self.heads})")

@@ -1,0 +1,82 @@
+"""Relational Graph Convolution (RGCN, Schlichtkrull et al. 2018).
+
+Not used by the headline ParaGraph model (which is RGAT-based) but provided
+as an alternative relational encoder for the design-choice ablations: RGCN
+replaces attention with a per-relation mean aggregation, which makes it a
+natural "no attention" baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..nn import init
+from ..nn.module import Parameter
+from ..nn.tensor import Tensor
+from .message_passing import MessagePassing, validate_edge_index
+
+
+class RGCNConv(MessagePassing):
+    """One relational graph-convolution layer with mean aggregation."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        num_relations: int,
+        use_edge_weight: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.num_relations = num_relations
+        self.use_edge_weight = use_edge_weight
+        self.weight = Parameter(
+            init.xavier_uniform((num_relations, in_channels, out_channels), rng))
+        self.root_weight = Parameter(init.xavier_uniform((in_channels, out_channels), rng))
+        self.bias = Parameter(np.zeros(out_channels))
+
+    @property
+    def output_dim(self) -> int:
+        return self.out_channels
+
+    def forward(
+        self,
+        x: Tensor,
+        edge_index: np.ndarray,
+        edge_type: Optional[np.ndarray] = None,
+        edge_weight: Optional[np.ndarray] = None,
+    ) -> Tensor:
+        num_nodes = x.shape[0]
+        edge_index = validate_edge_index(edge_index, num_nodes)
+        num_edges = edge_index.shape[1]
+        if edge_type is None:
+            edge_type = np.zeros(num_edges, dtype=np.int64)
+        else:
+            edge_type = np.asarray(edge_type, dtype=np.int64)
+        if edge_weight is None:
+            edge_weight = np.zeros(num_edges, dtype=np.float64)
+        else:
+            edge_weight = np.asarray(edge_weight, dtype=np.float64)
+
+        out = x @ self.root_weight
+        for relation in range(self.num_relations):
+            mask = edge_type == relation
+            if not mask.any():
+                continue
+            src = edge_index[0, mask]
+            dst = edge_index[1, mask]
+            projected = x @ self.weight[relation]
+            messages = projected.index_select(src)
+            if self.use_edge_weight:
+                messages = messages * Tensor((1.0 + edge_weight[mask])[:, None])
+            out = out + self.aggregate_mean(messages, dst, num_nodes)
+        return out + self.bias
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"RGCNConv({self.in_channels}, {self.out_channels}, "
+                f"relations={self.num_relations})")

@@ -1,0 +1,40 @@
+"""``repro.hardware`` — analytical accelerator simulator.
+
+Substitute for the paper's runtime measurements on Summit (IBM POWER9 +
+NVIDIA V100) and Corona (AMD EPYC 7401 + AMD MI50): device specs, a
+roofline-style runtime model with parallel-efficiency / occupancy / transfer
+terms, and a deterministic measurement-noise model.
+"""
+
+from .noise import NoiseModel, stable_seed
+from .simulator import RuntimeSimulator, SimulationResult, analytical_cost_model
+from .specs import (
+    ALL_PLATFORMS,
+    DeviceKind,
+    EPYC7401,
+    HardwareSpec,
+    MI50,
+    POWER9,
+    V100,
+    cpu_platforms,
+    get_platform,
+    gpu_platforms,
+)
+
+__all__ = [
+    "ALL_PLATFORMS",
+    "DeviceKind",
+    "EPYC7401",
+    "HardwareSpec",
+    "MI50",
+    "NoiseModel",
+    "POWER9",
+    "RuntimeSimulator",
+    "SimulationResult",
+    "V100",
+    "analytical_cost_model",
+    "cpu_platforms",
+    "get_platform",
+    "gpu_platforms",
+    "stable_seed",
+]

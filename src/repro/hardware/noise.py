@@ -1,0 +1,49 @@
+"""Measurement-noise model for the simulated runtime collection.
+
+Real runtime measurements on Summit / Corona are noisy (shared nodes, DVFS,
+OS jitter); the paper's Table II shows CPU runtimes with very large standard
+deviations.  The simulator reproduces that character with a multiplicative
+log-normal noise term whose sigma comes from the hardware spec.
+
+Noise is **deterministic given the configuration**: the random generator is
+seeded from a stable hash of the (kernel, variant, platform, sizes, teams,
+threads, repetition) tuple, so datasets are reproducible across runs and
+machines without storing anything.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Mapping, Optional
+
+import numpy as np
+
+
+def stable_seed(*parts: object) -> int:
+    """Derive a 64-bit seed from the repr of the given parts (stable across runs)."""
+    digest = hashlib.sha256("||".join(repr(p) for p in parts).encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+class NoiseModel:
+    """Multiplicative log-normal noise with optional additive jitter floor."""
+
+    def __init__(self, sigma: float, jitter_us: float = 0.5) -> None:
+        if sigma < 0:
+            raise ValueError("sigma must be non-negative")
+        self.sigma = float(sigma)
+        self.jitter_us = float(jitter_us)
+
+    def apply(self, runtime_us: float, *seed_parts: object) -> float:
+        """Return the noisy runtime for a deterministic configuration seed."""
+        if runtime_us < 0:
+            raise ValueError("runtime must be non-negative")
+        rng = np.random.default_rng(stable_seed(*seed_parts))
+        factor = float(np.exp(rng.normal(0.0, self.sigma))) if self.sigma > 0 else 1.0
+        jitter = float(rng.exponential(self.jitter_us)) if self.jitter_us > 0 else 0.0
+        return runtime_us * factor + jitter
+
+    def sample_factors(self, count: int, seed: Optional[int] = None) -> np.ndarray:
+        """Draw *count* multiplicative noise factors (for statistics tests)."""
+        rng = np.random.default_rng(seed)
+        return np.exp(rng.normal(0.0, self.sigma, size=count))

@@ -1,0 +1,161 @@
+"""Analytical runtime simulator — the "Runtime Measurement Module" substitute.
+
+The original pipeline compiled each variant and measured it on Summit and
+Corona with ``gettimeofday`` around the kernel (paper §IV-A.3).  Without that
+hardware, this module predicts the runtime of a kernel variant on a
+:class:`~repro.hardware.specs.HardwareSpec` with a roofline-style model:
+
+1. static analysis of the variant (operation counts, iteration space,
+   arithmetic intensity) via :func:`repro.advisor.kernel_analysis.analyze_kernel`,
+2. effective parallel throughput given the requested teams/threads, the
+   device's core count, its occupancy knee and the parallel iteration count
+   exposed by the chosen ``collapse`` level,
+3. runtime = max(compute time, memory time) + launch / parallel-region
+   overhead + (for ``*_mem`` variants) host↔device transfer time,
+4. multiplicative log-normal measurement noise (deterministic per
+   configuration).
+
+The absolute numbers are synthetic, but the *structure* the GNN must learn is
+the same as on the real clusters: runtimes scale with trip counts and data
+sizes, GPU offloading wins only when the kernel exposes enough parallelism to
+amortize launch and transfer costs, collapsing nested loops helps when the
+outer loop alone cannot saturate the device, and CPU measurements are noisy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+from ..advisor.kernel_analysis import KernelAnalysis, analyze_kernel_cached
+from ..advisor.transformations import KernelVariant
+from .noise import NoiseModel
+from .specs import HardwareSpec
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Breakdown of one simulated measurement (all times in microseconds)."""
+
+    runtime_us: float
+    compute_us: float
+    memory_us: float
+    transfer_us: float
+    overhead_us: float
+    occupancy: float
+    parallel_iterations: int
+
+    @property
+    def noiseless_us(self) -> float:
+        return max(self.compute_us, self.memory_us) + self.transfer_us + self.overhead_us
+
+
+class RuntimeSimulator:
+    """Simulates kernel-variant execution on one hardware platform."""
+
+    def __init__(self, platform: HardwareSpec, noisy: bool = True,
+                 jitter_us: float = 0.5) -> None:
+        self.platform = platform
+        self.noisy = noisy
+        self.noise = NoiseModel(platform.noise_sigma if noisy else 0.0, jitter_us if noisy else 0.0)
+
+    # ------------------------------------------------------------------ #
+    def _effective_parallelism(self, variant: KernelVariant, analysis: KernelAnalysis,
+                               num_teams: int, num_threads: int) -> float:
+        """Fraction of the device's peak the configuration can use (0..1]."""
+        platform = self.platform
+        parallel_iters = analysis.parallel_iterations_with_collapse(variant.collapse)
+        if platform.is_gpu:
+            # requested concurrency: teams map to CUs/SMs, threads to lanes
+            requested = max(1, num_teams * max(num_threads, 1))
+            usable = min(parallel_iters, requested, platform.saturation_parallelism)
+            occupancy = usable / platform.saturation_parallelism
+            # a kernel with very few iterations cannot even fill one wavefront
+            occupancy = max(occupancy, min(parallel_iters, 64) / platform.saturation_parallelism)
+        else:
+            threads = max(1, min(num_threads, platform.compute_units))
+            # load imbalance when the iteration count does not divide the threads
+            usable_threads = min(threads, parallel_iters)
+            imbalance = usable_threads / max(1.0, float(threads)) if parallel_iters < threads else 1.0
+            amdahl = 1.0 / (platform.serial_fraction
+                            + (1.0 - platform.serial_fraction) / usable_threads)
+            occupancy = (amdahl / platform.compute_units) * imbalance
+        return max(min(occupancy, 1.0), 1e-6)
+
+    def _transfer_time(self, variant: KernelVariant, sizes: Mapping[str, int]) -> float:
+        """Host↔device transfer cost for ``*_mem`` variants, microseconds."""
+        if not variant.includes_data_transfer or not self.platform.is_gpu:
+            return 0.0
+        platform = self.platform
+        total = 0.0
+        for array in variant.kernel.arrays:
+            bytes_moved = array.num_bytes(sizes)
+            # tofrom arrays cross the link twice (copy in and copy out)
+            trips = 2 if array.direction == "tofrom" else 1
+            total += trips * (platform.transfer_latency_us
+                              + bytes_moved / platform.transfer_bytes_per_us)
+        return total
+
+    # ------------------------------------------------------------------ #
+    def simulate(
+        self,
+        variant: KernelVariant,
+        sizes: Optional[Mapping[str, int]] = None,
+        num_teams: int = 64,
+        num_threads: int = 16,
+        repetition: int = 0,
+    ) -> SimulationResult:
+        """Simulate one measurement of *variant* and return the breakdown."""
+        if variant.is_gpu != self.platform.is_gpu:
+            raise ValueError(
+                f"variant {variant.kind.value!r} cannot run on {self.platform.name} "
+                f"({'GPU' if self.platform.is_gpu else 'CPU'} platform)")
+        concrete = variant.kernel.sizes_with_defaults(sizes)
+        analysis = analyze_kernel_cached(variant.kernel, concrete)
+        occupancy = self._effective_parallelism(variant, analysis, num_teams, num_threads)
+
+        flops = analysis.operations.total_flops
+        bytes_touched = analysis.operations.memory_bytes
+        compute_us = flops / (self.platform.peak_flops_per_us * occupancy)
+        # memory bandwidth saturates with a milder (square-root) dependence on
+        # occupancy: even a partially filled device can stream memory well
+        bandwidth_fraction = min(1.0, max(occupancy ** 0.5, 0.02))
+        memory_us = bytes_touched / (self.platform.memory_bytes_per_us * bandwidth_fraction)
+        transfer_us = self._transfer_time(variant, concrete)
+        overhead_us = self.platform.launch_overhead_us
+
+        noiseless = max(compute_us, memory_us) + transfer_us + overhead_us
+        runtime = self.noise.apply(
+            noiseless,
+            self.platform.name, variant.name, tuple(sorted(concrete.items())),
+            num_teams, num_threads, repetition,
+        ) if self.noisy else noiseless
+
+        return SimulationResult(
+            runtime_us=float(runtime),
+            compute_us=float(compute_us),
+            memory_us=float(memory_us),
+            transfer_us=float(transfer_us),
+            overhead_us=float(overhead_us),
+            occupancy=float(occupancy),
+            parallel_iterations=analysis.parallel_iterations_with_collapse(variant.collapse),
+        )
+
+    def measure(self, variant: KernelVariant, sizes: Optional[Mapping[str, int]] = None,
+                num_teams: int = 64, num_threads: int = 16, repetition: int = 0) -> float:
+        """Convenience wrapper returning only the runtime in microseconds."""
+        return self.simulate(variant, sizes, num_teams, num_threads, repetition).runtime_us
+
+
+def analytical_cost_model(platform: HardwareSpec):
+    """Return a noise-free cost-model callable for :class:`OpenMPAdvisor`.
+
+    The returned function signature matches ``repro.advisor.CostModel``.
+    """
+    simulator = RuntimeSimulator(platform, noisy=False)
+
+    def cost(variant: KernelVariant, sizes: Mapping[str, int],
+             num_teams: int, num_threads: int) -> float:
+        return simulator.simulate(variant, sizes, num_teams, num_threads).runtime_us
+
+    return cost

@@ -1,0 +1,170 @@
+"""Hardware descriptions of the four accelerators used in the paper.
+
+The paper measures kernels on ORNL Summit nodes (IBM POWER9 CPUs, NVIDIA
+V100 GPUs) and LLNL Corona nodes (AMD EPYC 7401 CPUs, AMD MI50 GPUs).  Those
+machines are not available here, so each device is described by a compact
+analytical spec — peak double-precision throughput, memory bandwidth,
+parallel overheads, host↔device link characteristics and a measurement-noise
+level — consumed by :mod:`repro.hardware.simulator`.
+
+The numbers are public datasheet figures (rounded); they are not meant to
+reproduce the paper's absolute runtimes, only the qualitative structure:
+GPUs dominate large data-parallel kernels, CPUs win tiny kernels (launch
+overhead), ``*_mem`` variants pay for PCIe/NVLink transfers, and CPU
+measurements are far noisier / more dispersed than GPU ones (Table II's
+standard deviations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, List, Tuple
+
+
+class DeviceKind(Enum):
+    CPU = "cpu"
+    GPU = "gpu"
+
+
+@dataclass(frozen=True)
+class HardwareSpec:
+    """Analytical description of one accelerator."""
+
+    name: str
+    kind: DeviceKind
+    cluster: str
+    #: physical cores (CPU) or compute units / SMs (GPU)
+    compute_units: int
+    #: peak double-precision throughput of the whole device, GFLOP/s
+    peak_gflops: float
+    #: sustainable device-memory bandwidth, GB/s
+    memory_bandwidth_gbs: float
+    #: host↔device transfer bandwidth, GB/s (0 for CPUs: no transfer needed)
+    transfer_bandwidth_gbs: float
+    #: per-transfer fixed latency, microseconds
+    transfer_latency_us: float
+    #: fixed cost of launching a kernel / opening a parallel region, microseconds
+    launch_overhead_us: float
+    #: teams*threads (or parallel iterations) needed to reach peak throughput
+    saturation_parallelism: int
+    #: fraction of work that does not parallelize (Amdahl-style)
+    serial_fraction: float
+    #: sigma of the multiplicative log-normal measurement noise
+    noise_sigma: float
+
+    @property
+    def is_gpu(self) -> bool:
+        return self.kind is DeviceKind.GPU
+
+    @property
+    def peak_flops_per_us(self) -> float:
+        """Peak device throughput in FLOP per microsecond."""
+        return self.peak_gflops * 1e3
+
+    @property
+    def memory_bytes_per_us(self) -> float:
+        """Device memory bandwidth in bytes per microsecond."""
+        return self.memory_bandwidth_gbs * 1e3
+
+    @property
+    def transfer_bytes_per_us(self) -> float:
+        """Host↔device bandwidth in bytes per microsecond."""
+        return self.transfer_bandwidth_gbs * 1e3
+
+
+# --------------------------------------------------------------------- #
+# Summit (ORNL): IBM POWER9 + NVIDIA V100, LLVM/Clang 13 + nvptx
+# --------------------------------------------------------------------- #
+POWER9 = HardwareSpec(
+    name="IBM POWER9",
+    kind=DeviceKind.CPU,
+    cluster="Summit",
+    compute_units=22,
+    peak_gflops=540.0,
+    memory_bandwidth_gbs=135.0,
+    transfer_bandwidth_gbs=0.0,
+    transfer_latency_us=0.0,
+    launch_overhead_us=18.0,
+    saturation_parallelism=22 * 4,
+    serial_fraction=0.015,
+    noise_sigma=0.28,
+)
+
+V100 = HardwareSpec(
+    name="NVIDIA V100",
+    kind=DeviceKind.GPU,
+    cluster="Summit",
+    compute_units=80,
+    peak_gflops=7000.0,
+    memory_bandwidth_gbs=900.0,
+    transfer_bandwidth_gbs=45.0,      # NVLink2 host link on Summit
+    transfer_latency_us=12.0,
+    launch_overhead_us=22.0,
+    saturation_parallelism=10_240,
+    serial_fraction=0.0,
+    noise_sigma=0.09,
+)
+
+# --------------------------------------------------------------------- #
+# Corona (LLNL): AMD EPYC 7401 + AMD MI50, LLVM/Clang 15 + rocm
+# --------------------------------------------------------------------- #
+EPYC7401 = HardwareSpec(
+    name="AMD EPYC7401",
+    kind=DeviceKind.CPU,
+    cluster="Corona",
+    compute_units=24,
+    peak_gflops=380.0,
+    memory_bandwidth_gbs=120.0,
+    transfer_bandwidth_gbs=0.0,
+    transfer_latency_us=0.0,
+    launch_overhead_us=14.0,
+    saturation_parallelism=24 * 2,
+    serial_fraction=0.012,
+    noise_sigma=0.24,
+)
+
+MI50 = HardwareSpec(
+    name="AMD MI50",
+    kind=DeviceKind.GPU,
+    cluster="Corona",
+    compute_units=60,
+    peak_gflops=6600.0,
+    memory_bandwidth_gbs=1024.0,
+    transfer_bandwidth_gbs=16.0,      # PCIe gen3 x16
+    transfer_latency_us=18.0,
+    launch_overhead_us=28.0,
+    saturation_parallelism=7_680,
+    serial_fraction=0.0,
+    noise_sigma=0.11,
+)
+
+#: The four evaluation platforms, in the order of the paper's result tables.
+ALL_PLATFORMS: Tuple[HardwareSpec, ...] = (POWER9, V100, EPYC7401, MI50)
+
+_BY_NAME: Dict[str, HardwareSpec] = {spec.name: spec for spec in ALL_PLATFORMS}
+_ALIASES: Dict[str, str] = {
+    "power9": "IBM POWER9",
+    "v100": "NVIDIA V100",
+    "epyc": "AMD EPYC7401",
+    "epyc7401": "AMD EPYC7401",
+    "mi50": "AMD MI50",
+}
+
+
+def get_platform(name: str) -> HardwareSpec:
+    """Look up a platform by full name or short alias (``v100``, ``mi50`` …)."""
+    if name in _BY_NAME:
+        return _BY_NAME[name]
+    key = name.replace(" ", "").replace("-", "").lower()
+    if key in _ALIASES:
+        return _BY_NAME[_ALIASES[key]]
+    raise KeyError(f"unknown platform {name!r}; known: {sorted(_BY_NAME)}")
+
+
+def cpu_platforms() -> List[HardwareSpec]:
+    return [spec for spec in ALL_PLATFORMS if not spec.is_gpu]
+
+
+def gpu_platforms() -> List[HardwareSpec]:
+    return [spec for spec in ALL_PLATFORMS if spec.is_gpu]

@@ -1,0 +1,57 @@
+"""``repro.kernels`` — the benchmark applications of the paper's Table I.
+
+Nine applications totalling seventeen OpenMP-parallelizable kernels, each
+defined as real C source (parsed by ``repro.clang``) plus the metadata the
+variant generator and hardware model need (problem sizes, arrays, collapsible
+loop-nest depth).
+"""
+
+from .base import ApplicationSpec, ArraySpec, KernelDefinition
+from .linear_algebra import (
+    GAUSS_SEIDEL,
+    GAUSS_SEIDEL_APP,
+    MATMUL,
+    MATMUL_APP,
+    MATVEC,
+    MATVEC_APP,
+    TRANSPOSE,
+    TRANSPOSE_APP,
+)
+from .numerical import KNN, KNN_APP, LAPLACE_COPY, LAPLACE_SWEEP, LAPLACE_APP
+from .particle_filter import (
+    PARTICLE_FILTER_APP,
+    PF_FIND_INDEX,
+    PF_LIKELIHOOD,
+    PF_MOMENTS,
+    PF_NORMALIZE,
+    PF_PARTIAL_SUMS,
+    PF_PROPAGATE,
+    PF_WEIGHT_UPDATE,
+)
+from .registry import (
+    APPLICATIONS,
+    all_applications,
+    all_kernels,
+    get_application,
+    get_kernel,
+    table1_rows,
+)
+from .statistics import (
+    CORRELATION,
+    CORRELATION_APP,
+    COVARIANCE_MATRIX,
+    COVARIANCE_MEAN,
+    COVARIANCE_APP,
+)
+
+__all__ = [
+    "APPLICATIONS",
+    "ApplicationSpec",
+    "ArraySpec",
+    "KernelDefinition",
+    "all_applications",
+    "all_kernels",
+    "get_application",
+    "get_kernel",
+    "table1_rows",
+]

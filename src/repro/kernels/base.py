@@ -1,0 +1,116 @@
+"""Kernel-definition dataclasses shared by the benchmark applications.
+
+Each benchmark application (Table I of the paper) contributes one or more
+*kernels*: an OpenMP-parallelizable loop nest written as C source.  The
+definition records everything the rest of the pipeline needs:
+
+* the serial C source of the kernel function (parsed by ``repro.clang``),
+* which parameters are problem sizes (used to sweep dataset variety and to
+  bind loop bounds for the weight computation),
+* the arrays the kernel touches, with element sizes and size expressions, so
+  the variant generator can emit ``map`` clauses and the hardware model can
+  price host↔device transfers,
+* how many of the outer loops are perfectly nested / collapsible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..clang import ConstantEnvironment, evaluate_constant, parse_source
+from ..clang.ast_nodes import FunctionDecl, TranslationUnitDecl
+
+
+@dataclass(frozen=True)
+class ArraySpec:
+    """Description of one array argument of a kernel.
+
+    ``size_expr`` is a C expression over the kernel's problem-size parameters
+    giving the number of elements (e.g. ``"N*M"``); ``direction`` is the
+    OpenMP map direction used by the ``*_mem`` variants.
+    """
+
+    name: str
+    element_size: int
+    size_expr: str
+    direction: str = "tofrom"      # "to", "from" or "tofrom"
+
+    def num_elements(self, sizes: Mapping[str, int]) -> int:
+        """Evaluate the size expression for concrete problem sizes."""
+        from ..clang.parser import Parser
+        from ..clang.lexer import tokenize
+
+        expr = Parser(tokenize(self.size_expr)).parse_expression()
+        value = evaluate_constant(expr, ConstantEnvironment(dict(sizes)))
+        if value is None:
+            raise ValueError(
+                f"cannot evaluate array size {self.size_expr!r} with sizes {dict(sizes)!r}")
+        return int(value)
+
+    def num_bytes(self, sizes: Mapping[str, int]) -> int:
+        return self.num_elements(sizes) * self.element_size
+
+
+@dataclass(frozen=True)
+class KernelDefinition:
+    """One OpenMP kernel of a benchmark application."""
+
+    application: str
+    kernel_name: str
+    domain: str
+    source: str
+    size_parameters: Tuple[str, ...]
+    arrays: Tuple[ArraySpec, ...]
+    collapsible_loops: int = 1
+    default_sizes: Mapping[str, int] = field(default_factory=dict)
+    description: str = ""
+
+    # ------------------------------------------------------------------ #
+    @property
+    def full_name(self) -> str:
+        return f"{self.application}/{self.kernel_name}"
+
+    def parse(self) -> TranslationUnitDecl:
+        """Parse the kernel source into an AST (fresh tree on every call)."""
+        return parse_source(self.source, filename=self.full_name)
+
+    def function(self) -> FunctionDecl:
+        """Return the kernel's function definition node."""
+        unit = self.parse()
+        for node in unit.children:
+            if isinstance(node, FunctionDecl) and node.body is not None:
+                return node
+        raise ValueError(f"kernel {self.full_name} has no function definition")
+
+    def sizes_with_defaults(self, overrides: Optional[Mapping[str, int]] = None) -> Dict[str, int]:
+        """Concrete problem sizes: defaults overridden by *overrides*."""
+        sizes = dict(self.default_sizes)
+        if overrides:
+            sizes.update({k: int(v) for k, v in overrides.items()})
+        missing = [p for p in self.size_parameters if p not in sizes]
+        if missing:
+            raise ValueError(f"kernel {self.full_name} missing sizes for {missing}")
+        return sizes
+
+    def transfer_bytes(self, sizes: Mapping[str, int]) -> int:
+        """Total bytes moved if every array is transferred once."""
+        return sum(array.num_bytes(sizes) for array in self.arrays)
+
+    def environment(self, overrides: Optional[Mapping[str, int]] = None) -> ConstantEnvironment:
+        """Constant environment binding the problem-size parameters."""
+        return ConstantEnvironment(self.sizes_with_defaults(overrides))
+
+
+@dataclass(frozen=True)
+class ApplicationSpec:
+    """A benchmark application: a named group of kernels (Table I rows)."""
+
+    name: str
+    domain: str
+    kernels: Tuple[KernelDefinition, ...]
+    citation: str = ""
+
+    @property
+    def num_kernels(self) -> int:
+        return len(self.kernels)

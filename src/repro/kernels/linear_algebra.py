@@ -1,0 +1,142 @@
+"""Linear-algebra benchmark kernels (Table I).
+
+Three of the paper's applications live here: Matrix-Matrix Multiplication,
+Matrix-Vector Multiplication and Matrix Transpose, plus the Gauss-Seidel
+iterative solver (which the paper lists under Linear Algebra as well).
+"""
+
+from __future__ import annotations
+
+from .base import ApplicationSpec, ArraySpec, KernelDefinition
+
+# --------------------------------------------------------------------- #
+# Matrix-Matrix Multiplication
+# --------------------------------------------------------------------- #
+_MATMUL_SOURCE = """
+void matmul_kernel(double *A, double *B, double *C, int N, int M, int K) {
+  for (int i = 0; i < N; i++) {
+    for (int j = 0; j < M; j++) {
+      double sum = 0.0;
+      for (int k = 0; k < K; k++) {
+        sum += A[i * K + k] * B[k * M + j];
+      }
+      C[i * M + j] = sum;
+    }
+  }
+}
+"""
+
+MATMUL = KernelDefinition(
+    application="MM",
+    kernel_name="matmul",
+    domain="Linear Algebra",
+    source=_MATMUL_SOURCE,
+    size_parameters=("N", "M", "K"),
+    arrays=(
+        ArraySpec("A", 8, "N*K", "to"),
+        ArraySpec("B", 8, "K*M", "to"),
+        ArraySpec("C", 8, "N*M", "from"),
+    ),
+    collapsible_loops=2,
+    default_sizes={"N": 256, "M": 256, "K": 256},
+    description="Dense GEMM: C = A * B with a k-reduction per output element.",
+)
+
+MATMUL_APP = ApplicationSpec("MM", "Linear Algebra", (MATMUL,))
+
+# --------------------------------------------------------------------- #
+# Matrix-Vector Multiplication
+# --------------------------------------------------------------------- #
+_MATVEC_SOURCE = """
+void matvec_kernel(double *A, double *x, double *y, int N, int M) {
+  for (int i = 0; i < N; i++) {
+    double acc = 0.0;
+    for (int j = 0; j < M; j++) {
+      acc += A[i * M + j] * x[j];
+    }
+    y[i] = acc;
+  }
+}
+"""
+
+MATVEC = KernelDefinition(
+    application="MV",
+    kernel_name="matvec",
+    domain="Linear Algebra",
+    source=_MATVEC_SOURCE,
+    size_parameters=("N", "M"),
+    arrays=(
+        ArraySpec("A", 8, "N*M", "to"),
+        ArraySpec("x", 8, "M", "to"),
+        ArraySpec("y", 8, "N", "from"),
+    ),
+    collapsible_loops=1,
+    default_sizes={"N": 4096, "M": 4096},
+    description="Dense matrix-vector product y = A x (memory-bound).",
+)
+
+MATVEC_APP = ApplicationSpec("MV", "Linear Algebra", (MATVEC,))
+
+# --------------------------------------------------------------------- #
+# Matrix Transpose
+# --------------------------------------------------------------------- #
+_TRANSPOSE_SOURCE = """
+void transpose_kernel(double *A, double *B, int N, int M) {
+  for (int i = 0; i < N; i++) {
+    for (int j = 0; j < M; j++) {
+      B[j * N + i] = A[i * M + j];
+    }
+  }
+}
+"""
+
+TRANSPOSE = KernelDefinition(
+    application="Transpose",
+    kernel_name="transpose",
+    domain="Linear Algebra",
+    source=_TRANSPOSE_SOURCE,
+    size_parameters=("N", "M"),
+    arrays=(
+        ArraySpec("A", 8, "N*M", "to"),
+        ArraySpec("B", 8, "N*M", "from"),
+    ),
+    collapsible_loops=2,
+    default_sizes={"N": 2048, "M": 2048},
+    description="Out-of-place matrix transpose (pure data movement).",
+)
+
+TRANSPOSE_APP = ApplicationSpec("Transpose", "Linear Algebra", (TRANSPOSE,))
+
+# --------------------------------------------------------------------- #
+# Gauss-Seidel method (red/black sweep so the loop nest parallelizes)
+# --------------------------------------------------------------------- #
+_GAUSS_SEIDEL_SOURCE = """
+void gauss_seidel_kernel(double *grid, double *rhs, int N, int M) {
+  for (int i = 1; i < N; i++) {
+    for (int j = 1; j < M; j++) {
+      double up = grid[(i - 1) * M + j];
+      double down = grid[(i + 1) * M + j];
+      double left = grid[i * M + j - 1];
+      double right = grid[i * M + j + 1];
+      grid[i * M + j] = 0.25 * (up + down + left + right - rhs[i * M + j]);
+    }
+  }
+}
+"""
+
+GAUSS_SEIDEL = KernelDefinition(
+    application="Gauss",
+    kernel_name="gauss_seidel",
+    domain="Linear Algebra",
+    source=_GAUSS_SEIDEL_SOURCE,
+    size_parameters=("N", "M"),
+    arrays=(
+        ArraySpec("grid", 8, "(N+2)*(M+2)", "tofrom"),
+        ArraySpec("rhs", 8, "(N+2)*(M+2)", "to"),
+    ),
+    collapsible_loops=2,
+    default_sizes={"N": 1024, "M": 1024},
+    description="Gauss-Seidel relaxation sweep over a 2-D grid.",
+)
+
+GAUSS_SEIDEL_APP = ApplicationSpec("Gauss", "Linear Algebra", (GAUSS_SEIDEL,))

@@ -1,0 +1,109 @@
+"""Numerical-analysis and data-mining benchmark kernels (Table I).
+
+Laplace's Equation (2 kernels: Jacobi sweep and residual/copy) and K-nearest
+neighbours (1 kernel, from the Rodinia ``nn`` benchmark family).
+"""
+
+from __future__ import annotations
+
+from .base import ApplicationSpec, ArraySpec, KernelDefinition
+
+# --------------------------------------------------------------------- #
+# Laplace's equation: Jacobi update sweep + copy/residual kernel
+# --------------------------------------------------------------------- #
+_LAPLACE_SWEEP_SOURCE = """
+void laplace_sweep_kernel(double *u, double *unew, int N, int M) {
+  for (int i = 1; i < N; i++) {
+    for (int j = 1; j < M; j++) {
+      unew[i * M + j] = 0.25 * (u[(i - 1) * M + j] + u[(i + 1) * M + j]
+                              + u[i * M + j - 1] + u[i * M + j + 1]);
+    }
+  }
+}
+"""
+
+_LAPLACE_COPY_SOURCE = """
+void laplace_copy_kernel(double *u, double *unew, double *error, int N, int M) {
+  for (int i = 1; i < N; i++) {
+    for (int j = 1; j < M; j++) {
+      double diff = unew[i * M + j] - u[i * M + j];
+      if (diff < 0.0) {
+        diff = 0.0 - diff;
+      }
+      error[i * M + j] = diff;
+      u[i * M + j] = unew[i * M + j];
+    }
+  }
+}
+"""
+
+LAPLACE_SWEEP = KernelDefinition(
+    application="Laplace",
+    kernel_name="laplace_sweep",
+    domain="Numerical Analysis",
+    source=_LAPLACE_SWEEP_SOURCE,
+    size_parameters=("N", "M"),
+    arrays=(
+        ArraySpec("u", 8, "(N+2)*(M+2)", "to"),
+        ArraySpec("unew", 8, "(N+2)*(M+2)", "from"),
+    ),
+    collapsible_loops=2,
+    default_sizes={"N": 2048, "M": 2048},
+    description="Five-point Jacobi stencil sweep for Laplace's equation.",
+)
+
+LAPLACE_COPY = KernelDefinition(
+    application="Laplace",
+    kernel_name="laplace_copy",
+    domain="Numerical Analysis",
+    source=_LAPLACE_COPY_SOURCE,
+    size_parameters=("N", "M"),
+    arrays=(
+        ArraySpec("u", 8, "(N+2)*(M+2)", "tofrom"),
+        ArraySpec("unew", 8, "(N+2)*(M+2)", "to"),
+        ArraySpec("error", 8, "(N+2)*(M+2)", "from"),
+    ),
+    collapsible_loops=2,
+    default_sizes={"N": 2048, "M": 2048},
+    description="Copy-back and per-cell residual of the Jacobi iteration.",
+)
+
+LAPLACE_APP = ApplicationSpec(
+    "Laplace", "Numerical Analysis", (LAPLACE_SWEEP, LAPLACE_COPY))
+
+# --------------------------------------------------------------------- #
+# K-nearest neighbours (Rodinia nn): distance computation over records
+# --------------------------------------------------------------------- #
+_KNN_SOURCE = """
+void knn_kernel(double *locations, double *distances, double lat, double lng,
+                int N, int D) {
+  for (int i = 0; i < N; i++) {
+    double acc = 0.0;
+    for (int d = 0; d < D; d++) {
+      double delta = locations[i * D + d] - lat;
+      if (d > 0) {
+        delta = locations[i * D + d] - lng;
+      }
+      acc += delta * delta;
+    }
+    distances[i] = sqrt(acc);
+  }
+}
+"""
+
+KNN = KernelDefinition(
+    application="NN",
+    kernel_name="knn_distance",
+    domain="Data Mining",
+    source=_KNN_SOURCE,
+    size_parameters=("N", "D"),
+    arrays=(
+        ArraySpec("locations", 8, "N*D", "to"),
+        ArraySpec("distances", 8, "N", "from"),
+    ),
+    collapsible_loops=1,
+    default_sizes={"N": 65536, "D": 2},
+    description="Euclidean distance of every record to the query point.",
+)
+
+KNN_APP = ApplicationSpec("NN", "Data Mining", (KNN,))

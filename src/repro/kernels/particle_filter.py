@@ -1,0 +1,225 @@
+"""Particle Filter benchmark kernels (Table I, Medical Imaging, 7 kernels).
+
+Modelled on the Rodinia ``particlefilter`` benchmark, which tracks an object
+through a noisy image sequence.  The paper counts seven OpenMP kernels in
+this application; the seven below follow the Rodinia structure: likelihood
+evaluation, weight update, weight normalization, moment estimation, CDF
+construction companion (partial sums), systematic resampling index search,
+and particle propagation.
+"""
+
+from __future__ import annotations
+
+from .base import ApplicationSpec, ArraySpec, KernelDefinition
+
+# 1. likelihood of every particle given the measurement patch
+_LIKELIHOOD_SOURCE = """
+void pf_likelihood_kernel(double *particlesX, double *particlesY,
+                          double *image, double *likelihood,
+                          int NP, int R, int W) {
+  for (int i = 0; i < NP; i++) {
+    double acc = 0.0;
+    for (int r = 0; r < R; r++) {
+      int x = (int) particlesX[i] + r;
+      int y = (int) particlesY[i] + r;
+      double fg = image[x * W + y] - 100.0;
+      double bg = image[x * W + y] - 228.0;
+      acc += (fg * fg - bg * bg) / 50.0;
+    }
+    likelihood[i] = acc / R;
+  }
+}
+"""
+
+# 2. multiply weights by the exponentiated likelihood
+_WEIGHT_UPDATE_SOURCE = """
+void pf_weight_update_kernel(double *weights, double *likelihood, int NP) {
+  for (int i = 0; i < NP; i++) {
+    weights[i] = weights[i] * exp(likelihood[i]);
+  }
+}
+"""
+
+# 3. normalize weights by their sum
+_NORMALIZE_SOURCE = """
+void pf_normalize_kernel(double *weights, double *normalized, double sumWeights, int NP) {
+  for (int i = 0; i < NP; i++) {
+    normalized[i] = weights[i] / sumWeights;
+  }
+}
+"""
+
+# 4. weighted moments of the particle cloud (x and y estimates)
+_MOMENTS_SOURCE = """
+void pf_moments_kernel(double *particlesX, double *particlesY,
+                       double *weights, double *moments, int NP) {
+  for (int i = 0; i < NP; i++) {
+    moments[i] = particlesX[i] * weights[i] + particlesY[i] * weights[i];
+  }
+}
+"""
+
+# 5. partial sums feeding the cumulative distribution function
+_PARTIAL_SUMS_SOURCE = """
+void pf_partial_sums_kernel(double *weights, double *partial, int NP, int B) {
+  for (int b = 0; b < B; b++) {
+    double acc = 0.0;
+    for (int i = 0; i < NP / B; i++) {
+      acc += weights[b * (NP / B) + i];
+    }
+    partial[b] = acc;
+  }
+}
+"""
+
+# 6. systematic resampling: find the CDF slot of every particle's u-value
+_FIND_INDEX_SOURCE = """
+void pf_find_index_kernel(double *cdf, double *u, int *indices, int NP) {
+  for (int i = 0; i < NP; i++) {
+    int index = NP - 1;
+    for (int j = 0; j < NP; j++) {
+      if (cdf[j] >= u[i]) {
+        if (j < index) {
+          index = j;
+        }
+      }
+    }
+    indices[i] = index;
+  }
+}
+"""
+
+# 7. propagate the resampled particles with the motion model
+_PROPAGATE_SOURCE = """
+void pf_propagate_kernel(double *particlesX, double *particlesY,
+                         double *noiseX, double *noiseY,
+                         int *indices, int NP) {
+  for (int i = 0; i < NP; i++) {
+    int src = indices[i];
+    particlesX[i] = particlesX[src] + 1.0 + 5.0 * noiseX[i];
+    particlesY[i] = particlesY[src] - 2.0 + 2.0 * noiseY[i];
+  }
+}
+"""
+
+_PF_COMMON = dict(application="ParticleFilter", domain="Medical Imaging")
+
+PF_LIKELIHOOD = KernelDefinition(
+    kernel_name="pf_likelihood",
+    source=_LIKELIHOOD_SOURCE,
+    size_parameters=("NP", "R", "W"),
+    arrays=(
+        ArraySpec("particlesX", 8, "NP", "to"),
+        ArraySpec("particlesY", 8, "NP", "to"),
+        ArraySpec("image", 8, "W*W", "to"),
+        ArraySpec("likelihood", 8, "NP", "from"),
+    ),
+    collapsible_loops=1,
+    default_sizes={"NP": 16384, "R": 64, "W": 512},
+    description="Per-particle likelihood over a sampling radius of the image.",
+    **_PF_COMMON,
+)
+
+PF_WEIGHT_UPDATE = KernelDefinition(
+    kernel_name="pf_weight_update",
+    source=_WEIGHT_UPDATE_SOURCE,
+    size_parameters=("NP",),
+    arrays=(
+        ArraySpec("weights", 8, "NP", "tofrom"),
+        ArraySpec("likelihood", 8, "NP", "to"),
+    ),
+    collapsible_loops=1,
+    default_sizes={"NP": 262144},
+    description="Importance-weight update from the likelihood.",
+    **_PF_COMMON,
+)
+
+PF_NORMALIZE = KernelDefinition(
+    kernel_name="pf_normalize",
+    source=_NORMALIZE_SOURCE,
+    size_parameters=("NP",),
+    arrays=(
+        ArraySpec("weights", 8, "NP", "to"),
+        ArraySpec("normalized", 8, "NP", "from"),
+    ),
+    collapsible_loops=1,
+    default_sizes={"NP": 262144},
+    description="Weight normalization by the global sum.",
+    **_PF_COMMON,
+)
+
+PF_MOMENTS = KernelDefinition(
+    kernel_name="pf_moments",
+    source=_MOMENTS_SOURCE,
+    size_parameters=("NP",),
+    arrays=(
+        ArraySpec("particlesX", 8, "NP", "to"),
+        ArraySpec("particlesY", 8, "NP", "to"),
+        ArraySpec("weights", 8, "NP", "to"),
+        ArraySpec("moments", 8, "NP", "from"),
+    ),
+    collapsible_loops=1,
+    default_sizes={"NP": 262144},
+    description="Weighted position moments for the state estimate.",
+    **_PF_COMMON,
+)
+
+PF_PARTIAL_SUMS = KernelDefinition(
+    kernel_name="pf_partial_sums",
+    source=_PARTIAL_SUMS_SOURCE,
+    size_parameters=("NP", "B"),
+    arrays=(
+        ArraySpec("weights", 8, "NP", "to"),
+        ArraySpec("partial", 8, "B", "from"),
+    ),
+    collapsible_loops=1,
+    default_sizes={"NP": 262144, "B": 512},
+    description="Blocked partial sums of the weights (CDF preparation).",
+    **_PF_COMMON,
+)
+
+PF_FIND_INDEX = KernelDefinition(
+    kernel_name="pf_find_index",
+    source=_FIND_INDEX_SOURCE,
+    size_parameters=("NP",),
+    arrays=(
+        ArraySpec("cdf", 8, "NP", "to"),
+        ArraySpec("u", 8, "NP", "to"),
+        ArraySpec("indices", 4, "NP", "from"),
+    ),
+    collapsible_loops=1,
+    default_sizes={"NP": 8192},
+    description="Systematic-resampling index search (quadratic scan).",
+    **_PF_COMMON,
+)
+
+PF_PROPAGATE = KernelDefinition(
+    kernel_name="pf_propagate",
+    source=_PROPAGATE_SOURCE,
+    size_parameters=("NP",),
+    arrays=(
+        ArraySpec("particlesX", 8, "NP", "tofrom"),
+        ArraySpec("particlesY", 8, "NP", "tofrom"),
+        ArraySpec("noiseX", 8, "NP", "to"),
+        ArraySpec("noiseY", 8, "NP", "to"),
+        ArraySpec("indices", 4, "NP", "to"),
+    ),
+    collapsible_loops=1,
+    default_sizes={"NP": 262144},
+    description="Resampled particle propagation with the motion model.",
+    **_PF_COMMON,
+)
+
+PARTICLE_FILTER_APP = ApplicationSpec(
+    "ParticleFilter",
+    "Medical Imaging",
+    (
+        PF_LIKELIHOOD,
+        PF_WEIGHT_UPDATE,
+        PF_NORMALIZE,
+        PF_MOMENTS,
+        PF_PARTIAL_SUMS,
+        PF_FIND_INDEX,
+        PF_PROPAGATE,
+    ),
+)

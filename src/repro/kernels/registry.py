@@ -1,0 +1,71 @@
+"""Registry of all benchmark applications and kernels (Table I).
+
+The registry is the single lookup point the pipeline, the examples and the
+Table I benchmark use to enumerate workloads.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .base import ApplicationSpec, KernelDefinition
+from .linear_algebra import GAUSS_SEIDEL_APP, MATMUL_APP, MATVEC_APP, TRANSPOSE_APP
+from .numerical import KNN_APP, LAPLACE_APP
+from .particle_filter import PARTICLE_FILTER_APP
+from .statistics import CORRELATION_APP, COVARIANCE_APP
+
+#: Applications in the order of the paper's Table I.
+APPLICATIONS: Tuple[ApplicationSpec, ...] = (
+    CORRELATION_APP,
+    COVARIANCE_APP,
+    GAUSS_SEIDEL_APP,
+    KNN_APP,
+    LAPLACE_APP,
+    MATMUL_APP,
+    MATVEC_APP,
+    TRANSPOSE_APP,
+    PARTICLE_FILTER_APP,
+)
+
+
+def all_applications() -> List[ApplicationSpec]:
+    """Every benchmark application, Table I order."""
+    return list(APPLICATIONS)
+
+
+def all_kernels() -> List[KernelDefinition]:
+    """Every kernel across all applications (17 in total, as in the paper)."""
+    kernels: List[KernelDefinition] = []
+    for application in APPLICATIONS:
+        kernels.extend(application.kernels)
+    return kernels
+
+
+def get_application(name: str) -> ApplicationSpec:
+    """Look up an application by name (case-insensitive)."""
+    for application in APPLICATIONS:
+        if application.name.lower() == name.lower():
+            return application
+    raise KeyError(f"unknown application {name!r}; "
+                   f"known: {[a.name for a in APPLICATIONS]}")
+
+
+def get_kernel(name: str, application: Optional[str] = None) -> KernelDefinition:
+    """Look up a kernel by kernel name or ``application/kernel`` full name."""
+    if "/" in name and application is None:
+        application, name = name.split("/", 1)
+    for kernel in all_kernels():
+        if kernel.kernel_name.lower() != name.lower():
+            continue
+        if application is not None and kernel.application.lower() != application.lower():
+            continue
+        return kernel
+    raise KeyError(f"unknown kernel {name!r}")
+
+
+def table1_rows() -> List[Dict[str, object]]:
+    """Rows of the paper's Table I: application, #kernels, domain."""
+    return [
+        {"application": app.name, "num_kernels": app.num_kernels, "domain": app.domain}
+        for app in APPLICATIONS
+    ]

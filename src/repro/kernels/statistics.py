@@ -1,0 +1,114 @@
+"""Statistics / probability-theory benchmark kernels (Table I).
+
+Correlation Coefficient (1 kernel) and Covariance (2 kernels), modelled on
+the PolyBench ``correlation`` / ``covariance`` benchmarks the paper's
+application list points at.
+"""
+
+from __future__ import annotations
+
+from .base import ApplicationSpec, ArraySpec, KernelDefinition
+
+# --------------------------------------------------------------------- #
+# Correlation coefficient: one kernel computing the correlation matrix
+# from mean/stddev-normalized data.
+# --------------------------------------------------------------------- #
+_CORRELATION_SOURCE = """
+void correlation_kernel(double *data, double *mean, double *stddev,
+                        double *corr, int N, int M) {
+  for (int i = 0; i < M; i++) {
+    for (int j = 0; j < M; j++) {
+      double acc = 0.0;
+      for (int k = 0; k < N; k++) {
+        double a = (data[k * M + i] - mean[i]) / stddev[i];
+        double b = (data[k * M + j] - mean[j]) / stddev[j];
+        acc += a * b;
+      }
+      corr[i * M + j] = acc / (N - 1);
+    }
+  }
+}
+"""
+
+CORRELATION = KernelDefinition(
+    application="Correlation",
+    kernel_name="correlation",
+    domain="Statistics",
+    source=_CORRELATION_SOURCE,
+    size_parameters=("N", "M"),
+    arrays=(
+        ArraySpec("data", 8, "N*M", "to"),
+        ArraySpec("mean", 8, "M", "to"),
+        ArraySpec("stddev", 8, "M", "to"),
+        ArraySpec("corr", 8, "M*M", "from"),
+    ),
+    collapsible_loops=2,
+    default_sizes={"N": 1024, "M": 256},
+    description="Pearson correlation matrix over M features of N samples.",
+)
+
+CORRELATION_APP = ApplicationSpec("Correlation", "Statistics", (CORRELATION,))
+
+# --------------------------------------------------------------------- #
+# Covariance: two kernels — column means, then the covariance matrix.
+# --------------------------------------------------------------------- #
+_COVARIANCE_MEAN_SOURCE = """
+void covariance_mean_kernel(double *data, double *mean, int N, int M) {
+  for (int j = 0; j < M; j++) {
+    double acc = 0.0;
+    for (int k = 0; k < N; k++) {
+      acc += data[k * M + j];
+    }
+    mean[j] = acc / N;
+  }
+}
+"""
+
+_COVARIANCE_MATRIX_SOURCE = """
+void covariance_matrix_kernel(double *data, double *mean, double *cov,
+                              int N, int M) {
+  for (int i = 0; i < M; i++) {
+    for (int j = 0; j < M; j++) {
+      double acc = 0.0;
+      for (int k = 0; k < N; k++) {
+        acc += (data[k * M + i] - mean[i]) * (data[k * M + j] - mean[j]);
+      }
+      cov[i * M + j] = acc / (N - 1);
+    }
+  }
+}
+"""
+
+COVARIANCE_MEAN = KernelDefinition(
+    application="Covariance",
+    kernel_name="covariance_mean",
+    domain="Probability Theory",
+    source=_COVARIANCE_MEAN_SOURCE,
+    size_parameters=("N", "M"),
+    arrays=(
+        ArraySpec("data", 8, "N*M", "to"),
+        ArraySpec("mean", 8, "M", "from"),
+    ),
+    collapsible_loops=1,
+    default_sizes={"N": 4096, "M": 512},
+    description="Column means of the data matrix (reduction per column).",
+)
+
+COVARIANCE_MATRIX = KernelDefinition(
+    application="Covariance",
+    kernel_name="covariance_matrix",
+    domain="Probability Theory",
+    source=_COVARIANCE_MATRIX_SOURCE,
+    size_parameters=("N", "M"),
+    arrays=(
+        ArraySpec("data", 8, "N*M", "to"),
+        ArraySpec("mean", 8, "M", "to"),
+        ArraySpec("cov", 8, "M*M", "from"),
+    ),
+    collapsible_loops=2,
+    default_sizes={"N": 1024, "M": 256},
+    description="Covariance matrix of mean-centred data.",
+)
+
+COVARIANCE_APP = ApplicationSpec(
+    "Covariance", "Probability Theory", (COVARIANCE_MEAN, COVARIANCE_MATRIX))

@@ -1,0 +1,49 @@
+"""``repro.ml`` — training infrastructure for the ParaGraph experiments.
+
+Datasets of encoded graphs, train/validation splitting (9:1 as in the paper),
+MinMax / log scaling, the MSE + Adam training loop with per-epoch history,
+and the RMSE / normalized-RMSE / relative-error metrics from the evaluation.
+"""
+
+from .dataset import GraphDataset
+from .metrics import (
+    binned_relative_error,
+    mae,
+    mean_relative_error,
+    normalized_rmse,
+    pearson_correlation,
+    per_group_relative_error,
+    r2_score,
+    regression_report,
+    relative_error,
+    rmse,
+    runtime_range,
+)
+from .scaler import LogMinMaxScaler, MinMaxScaler, StandardScaler
+from .split import group_split, k_fold_indices, train_val_split
+from .trainer import EpochRecord, History, Trainer, TrainingConfig
+
+__all__ = [
+    "EpochRecord",
+    "GraphDataset",
+    "History",
+    "LogMinMaxScaler",
+    "MinMaxScaler",
+    "StandardScaler",
+    "Trainer",
+    "TrainingConfig",
+    "binned_relative_error",
+    "group_split",
+    "k_fold_indices",
+    "mae",
+    "mean_relative_error",
+    "normalized_rmse",
+    "pearson_correlation",
+    "per_group_relative_error",
+    "r2_score",
+    "regression_report",
+    "relative_error",
+    "rmse",
+    "runtime_range",
+    "train_val_split",
+]

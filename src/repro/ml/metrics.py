@@ -1,0 +1,147 @@
+"""Evaluation metrics used in the paper's result tables and figures.
+
+* :func:`rmse` — Root Mean Square Error (Eq. 3),
+* :func:`normalized_rmse` — RMSE divided by the runtime range (Table III),
+* :func:`relative_error` — absolute error divided by the runtime range,
+* :func:`binned_relative_error` — mean relative error per 10-second runtime
+  bin (Fig. 4),
+* :func:`per_group_relative_error` — mean relative error per application
+  (Fig. 6),
+* :func:`pearson_correlation` — predicted-vs-actual correlation (Fig. 9).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+def _validate(actual: np.ndarray, predicted: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    actual = np.asarray(actual, dtype=np.float64).reshape(-1)
+    predicted = np.asarray(predicted, dtype=np.float64).reshape(-1)
+    if actual.shape != predicted.shape:
+        raise ValueError(f"shape mismatch: {actual.shape} vs {predicted.shape}")
+    if actual.size == 0:
+        raise ValueError("metrics require at least one sample")
+    return actual, predicted
+
+
+def rmse(actual: Sequence[float], predicted: Sequence[float]) -> float:
+    """Root Mean Square Error (same units as the runtimes)."""
+    actual, predicted = _validate(np.asarray(actual), np.asarray(predicted))
+    return float(np.sqrt(np.mean((actual - predicted) ** 2)))
+
+
+def mae(actual: Sequence[float], predicted: Sequence[float]) -> float:
+    """Mean absolute error."""
+    actual, predicted = _validate(np.asarray(actual), np.asarray(predicted))
+    return float(np.mean(np.abs(actual - predicted)))
+
+
+def runtime_range(actual: Sequence[float]) -> float:
+    """Distance between the minimum and maximum runtime (the normalizer)."""
+    actual = np.asarray(actual, dtype=np.float64)
+    span = float(actual.max() - actual.min())
+    return span if span > 0 else 1.0
+
+
+def normalized_rmse(actual: Sequence[float], predicted: Sequence[float],
+                    value_range: Optional[float] = None) -> float:
+    """RMSE divided by the runtime range (Table III's Norm-RMSE column)."""
+    actual_arr = np.asarray(actual, dtype=np.float64)
+    span = value_range if value_range is not None else runtime_range(actual_arr)
+    return rmse(actual, predicted) / span
+
+
+def relative_error(actual: Sequence[float], predicted: Sequence[float],
+                   value_range: Optional[float] = None) -> np.ndarray:
+    """Per-sample absolute error divided by the runtime range."""
+    actual_arr, predicted_arr = _validate(np.asarray(actual), np.asarray(predicted))
+    span = value_range if value_range is not None else runtime_range(actual_arr)
+    return np.abs(actual_arr - predicted_arr) / span
+
+
+def mean_relative_error(actual: Sequence[float], predicted: Sequence[float],
+                        value_range: Optional[float] = None) -> float:
+    """Mean of :func:`relative_error`."""
+    return float(relative_error(actual, predicted, value_range).mean())
+
+
+def binned_relative_error(
+    actual_us: Sequence[float],
+    predicted_us: Sequence[float],
+    bin_width_seconds: float = 10.0,
+    num_bins: int = 11,
+    value_range: Optional[float] = None,
+) -> Dict[str, float]:
+    """Mean relative error per runtime bin (Fig. 4).
+
+    Runtimes are given in microseconds (the dataset's unit); bins are
+    ``[0, 10s), [10s, 20s) … [100s, inf)`` by default, labelled like the
+    figure's x-axis ("0-10", "10-20", …, "100 <").  Empty bins are omitted.
+    """
+    actual, predicted = _validate(np.asarray(actual_us), np.asarray(predicted_us))
+    errors = relative_error(actual, predicted, value_range)
+    seconds = actual / 1e6
+    results: Dict[str, float] = {}
+    for bin_id in range(num_bins):
+        low = bin_id * bin_width_seconds
+        if bin_id == num_bins - 1:
+            mask = seconds >= low
+            label = f"{int(low)} <"
+        else:
+            high = low + bin_width_seconds
+            mask = (seconds >= low) & (seconds < high)
+            label = f"{int(low)}-{int(high)}"
+        if mask.any():
+            results[label] = float(errors[mask].mean())
+    return results
+
+
+def per_group_relative_error(
+    actual: Sequence[float],
+    predicted: Sequence[float],
+    groups: Sequence[str],
+    value_range: Optional[float] = None,
+) -> Dict[str, float]:
+    """Mean relative error per group label, e.g. per application (Fig. 6)."""
+    actual_arr, predicted_arr = _validate(np.asarray(actual), np.asarray(predicted))
+    groups = list(groups)
+    if len(groups) != actual_arr.size:
+        raise ValueError("groups must have one entry per sample")
+    errors = relative_error(actual_arr, predicted_arr, value_range)
+    results: Dict[str, List[float]] = {}
+    for group, error in zip(groups, errors):
+        results.setdefault(group, []).append(float(error))
+    return {group: float(np.mean(values)) for group, values in sorted(results.items())}
+
+
+def pearson_correlation(actual: Sequence[float], predicted: Sequence[float]) -> float:
+    """Pearson correlation coefficient between predictions and ground truth."""
+    actual, predicted = _validate(np.asarray(actual), np.asarray(predicted))
+    if actual.std() == 0 or predicted.std() == 0:
+        return 0.0
+    return float(np.corrcoef(actual, predicted)[0, 1])
+
+
+def r2_score(actual: Sequence[float], predicted: Sequence[float]) -> float:
+    """Coefficient of determination."""
+    actual, predicted = _validate(np.asarray(actual), np.asarray(predicted))
+    ss_res = float(np.sum((actual - predicted) ** 2))
+    ss_tot = float(np.sum((actual - actual.mean()) ** 2))
+    if ss_tot == 0:
+        return 0.0
+    return 1.0 - ss_res / ss_tot
+
+
+def regression_report(actual: Sequence[float], predicted: Sequence[float]) -> Dict[str, float]:
+    """Bundle of all scalar metrics, keyed by name."""
+    return {
+        "rmse": rmse(actual, predicted),
+        "normalized_rmse": normalized_rmse(actual, predicted),
+        "mae": mae(actual, predicted),
+        "mean_relative_error": mean_relative_error(actual, predicted),
+        "pearson": pearson_correlation(actual, predicted),
+        "r2": r2_score(actual, predicted),
+    }

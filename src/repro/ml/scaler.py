@@ -1,0 +1,157 @@
+"""Feature / target scaling utilities.
+
+The paper normalizes the edge weights and the two auxiliary features
+(teams, threads) with a MinMaxScaler and predicts runtimes that span several
+orders of magnitude; this module provides:
+
+* :class:`MinMaxScaler` — the scaler named in §IV-B,
+* :class:`StandardScaler` — mean/std alternative,
+* :class:`LogMinMaxScaler` — ``log1p`` followed by min-max, which is what the
+  runtime targets use so microsecond and minute-scale kernels share a
+  numerically well-behaved range.
+
+All scalers are NumPy-vectorized, operate column-wise on 2-D arrays (1-D
+arrays are treated as a single column) and support exact inverse transforms.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+class _BaseScaler:
+    """Shared fit/transform plumbing."""
+
+    def __init__(self) -> None:
+        self._fitted = False
+
+    def _ensure_2d(self, values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values, dtype=np.float64)
+        self._was_1d = values.ndim == 1
+        return values.reshape(-1, 1) if values.ndim == 1 else values
+
+    def _restore(self, values: np.ndarray) -> np.ndarray:
+        return values.reshape(-1) if self._was_1d else values
+
+    def _check_fitted(self) -> None:
+        if not self._fitted:
+            raise RuntimeError(f"{type(self).__name__} must be fitted before use")
+
+    def fit_transform(self, values: np.ndarray) -> np.ndarray:
+        self.fit(values)
+        return self.transform(values)
+
+    # interface
+    def fit(self, values: np.ndarray) -> "_BaseScaler":  # pragma: no cover
+        raise NotImplementedError
+
+    def transform(self, values: np.ndarray) -> np.ndarray:  # pragma: no cover
+        raise NotImplementedError
+
+    def inverse_transform(self, values: np.ndarray) -> np.ndarray:  # pragma: no cover
+        raise NotImplementedError
+
+
+class MinMaxScaler(_BaseScaler):
+    """Scale each column to ``[feature_min, feature_max]`` (default [0, 1])."""
+
+    def __init__(self, feature_range: tuple = (0.0, 1.0)) -> None:
+        super().__init__()
+        low, high = feature_range
+        if high <= low:
+            raise ValueError("feature_range must be increasing")
+        self.feature_range = (float(low), float(high))
+        self.data_min_: Optional[np.ndarray] = None
+        self.data_max_: Optional[np.ndarray] = None
+
+    def fit(self, values: np.ndarray) -> "MinMaxScaler":
+        values = self._ensure_2d(values)
+        if values.shape[0] == 0:
+            raise ValueError("cannot fit scaler on empty data")
+        self.data_min_ = values.min(axis=0)
+        self.data_max_ = values.max(axis=0)
+        self._fitted = True
+        return self
+
+    def _scale(self) -> np.ndarray:
+        span = self.data_max_ - self.data_min_
+        return np.where(span == 0.0, 1.0, span)
+
+    def transform(self, values: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        values = self._ensure_2d(values)
+        low, high = self.feature_range
+        scaled = (values - self.data_min_) / self._scale()
+        return self._restore(scaled * (high - low) + low)
+
+    def inverse_transform(self, values: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        values = self._ensure_2d(values)
+        low, high = self.feature_range
+        unit = (values - low) / (high - low)
+        return self._restore(unit * self._scale() + self.data_min_)
+
+
+class StandardScaler(_BaseScaler):
+    """Zero-mean, unit-variance scaling per column."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.mean_: Optional[np.ndarray] = None
+        self.std_: Optional[np.ndarray] = None
+
+    def fit(self, values: np.ndarray) -> "StandardScaler":
+        values = self._ensure_2d(values)
+        if values.shape[0] == 0:
+            raise ValueError("cannot fit scaler on empty data")
+        self.mean_ = values.mean(axis=0)
+        std = values.std(axis=0)
+        self.std_ = np.where(std == 0.0, 1.0, std)
+        self._fitted = True
+        return self
+
+    def transform(self, values: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        values = self._ensure_2d(values)
+        return self._restore((values - self.mean_) / self.std_)
+
+    def inverse_transform(self, values: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        values = self._ensure_2d(values)
+        return self._restore(values * self.std_ + self.mean_)
+
+
+class LogMinMaxScaler(_BaseScaler):
+    """``log1p`` followed by min-max scaling.
+
+    Runtimes in the dataset span from tens of microseconds to minutes
+    (Table II); training on log-scaled targets keeps the MSE loss from being
+    dominated by the largest kernels, and predictions are inverse-transformed
+    back to microseconds before the RMSE metrics are computed.
+    """
+
+    def __init__(self, feature_range: tuple = (0.0, 1.0)) -> None:
+        super().__init__()
+        self._inner = MinMaxScaler(feature_range)
+
+    def fit(self, values: np.ndarray) -> "LogMinMaxScaler":
+        values = self._ensure_2d(values)
+        if np.any(values < 0):
+            raise ValueError("LogMinMaxScaler requires non-negative values")
+        self._inner.fit(np.log1p(values))
+        self._fitted = True
+        return self
+
+    def transform(self, values: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        values = self._ensure_2d(values)
+        return self._restore(
+            self._inner.transform(np.log1p(values)).reshape(values.shape))
+
+    def inverse_transform(self, values: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        values = self._ensure_2d(values)
+        inner = self._inner.inverse_transform(values).reshape(values.shape)
+        return self._restore(np.expm1(inner))

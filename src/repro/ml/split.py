@@ -1,0 +1,60 @@
+"""Dataset splitting utilities (the paper uses a 9:1 train/validation split)."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .dataset import GraphDataset
+
+
+def train_val_split(
+    dataset: GraphDataset,
+    train_fraction: float = 0.9,
+    seed: Optional[int] = None,
+) -> Tuple[GraphDataset, GraphDataset]:
+    """Random split into train / validation subsets.
+
+    ``train_fraction=0.9`` reproduces the paper's 9:1 ratio.  The split is
+    sample-level (not application-level), as in the paper.
+    """
+    if not 0.0 < train_fraction < 1.0:
+        raise ValueError("train_fraction must be in (0, 1)")
+    if len(dataset) < 2:
+        raise ValueError("need at least two samples to split")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(len(dataset))
+    cut = int(round(train_fraction * len(dataset)))
+    cut = min(max(cut, 1), len(dataset) - 1)
+    train_idx, val_idx = order[:cut], order[cut:]
+    train = GraphDataset([dataset[i] for i in train_idx], name=f"{dataset.name}/train")
+    val = GraphDataset([dataset[i] for i in val_idx], name=f"{dataset.name}/val")
+    return train, val
+
+
+def k_fold_indices(num_samples: int, k: int, seed: Optional[int] = None) -> List[np.ndarray]:
+    """Return *k* disjoint index folds covering ``range(num_samples)``."""
+    if k < 2:
+        raise ValueError("k must be >= 2")
+    if num_samples < k:
+        raise ValueError("need at least k samples")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(num_samples)
+    return [fold for fold in np.array_split(order, k)]
+
+
+def group_split(
+    dataset: GraphDataset,
+    group_key: str,
+    holdout_groups: Sequence[str],
+) -> Tuple[GraphDataset, GraphDataset]:
+    """Split by metadata group, e.g. hold out whole applications.
+
+    Used by the generalization ablation benches (not in the paper's main
+    evaluation, which splits at sample level).
+    """
+    holdout = set(holdout_groups)
+    train = dataset.filter(lambda s: s.metadata.get(group_key) not in holdout)
+    val = dataset.filter(lambda s: s.metadata.get(group_key) in holdout)
+    return train, val

@@ -1,0 +1,199 @@
+"""Training loop for the ParaGraph model (and other graph regressors).
+
+The trainer reproduces the setup of §IV-B:
+
+* Mean Squared Error loss,
+* Adam optimizer,
+* 9:1 train/validation split handled by the caller,
+* targets and auxiliary features normalized with MinMax-style scalers
+  (runtimes additionally pass through ``log1p`` because they span several
+  orders of magnitude),
+* per-epoch validation metrics recorded in a :class:`History`, which is what
+  the training-curve figures (Fig. 5 and Fig. 7) are drawn from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..nn.losses import MSELoss
+from ..nn.module import Module
+from ..nn.optim import Adam
+from ..nn.tensor import Tensor
+from ..paragraph.encoders import GraphBatch
+from .dataset import GraphDataset
+from .metrics import normalized_rmse, rmse
+from .scaler import LogMinMaxScaler, MinMaxScaler
+
+
+@dataclass
+class TrainingConfig:
+    """Hyper-parameters of a training run."""
+
+    epochs: int = 60
+    batch_size: int = 32
+    learning_rate: float = 1e-3
+    weight_decay: float = 0.0
+    seed: Optional[int] = 0
+    shuffle: bool = True
+    log_every: int = 0          # 0 disables progress printing
+    early_stopping_patience: int = 0   # 0 disables early stopping
+
+
+@dataclass
+class EpochRecord:
+    """Metrics recorded after one epoch."""
+
+    epoch: int
+    train_loss: float
+    val_rmse: float
+    val_normalized_rmse: float
+
+
+@dataclass
+class History:
+    """Sequence of per-epoch records; the source of Figs. 5 and 7."""
+
+    records: List[EpochRecord] = field(default_factory=list)
+
+    def append(self, record: EpochRecord) -> None:
+        self.records.append(record)
+
+    @property
+    def epochs(self) -> List[int]:
+        return [r.epoch for r in self.records]
+
+    @property
+    def train_losses(self) -> List[float]:
+        return [r.train_loss for r in self.records]
+
+    @property
+    def val_rmses(self) -> List[float]:
+        return [r.val_rmse for r in self.records]
+
+    @property
+    def val_normalized_rmses(self) -> List[float]:
+        return [r.val_normalized_rmse for r in self.records]
+
+    @property
+    def best_val_rmse(self) -> float:
+        return min(self.val_rmses) if self.records else float("inf")
+
+    @property
+    def final_val_rmse(self) -> float:
+        return self.val_rmses[-1] if self.records else float("inf")
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+class Trainer:
+    """Fits a graph-regression model on a :class:`GraphDataset`."""
+
+    def __init__(self, model: Module, config: Optional[TrainingConfig] = None) -> None:
+        self.model = model
+        self.config = config or TrainingConfig()
+        self.target_scaler = LogMinMaxScaler()
+        self.aux_scaler = MinMaxScaler()
+        self._fitted_scalers = False
+
+    # ------------------------------------------------------------------ #
+    # scaling helpers
+    # ------------------------------------------------------------------ #
+    def _fit_scalers(self, dataset: GraphDataset) -> None:
+        targets = dataset.targets()
+        aux = np.stack([s.aux_features for s in dataset.samples], axis=0)
+        self.target_scaler.fit(targets)
+        self.aux_scaler.fit(aux)
+        self._fitted_scalers = True
+
+    def _scaled_batch(self, batch: GraphBatch) -> GraphBatch:
+        """Return a copy of *batch* with scaled aux features and targets."""
+        return GraphBatch(
+            node_features=batch.node_features,
+            edge_index=batch.edge_index,
+            edge_type=batch.edge_type,
+            edge_weight=batch.edge_weight,
+            aux_features=self.aux_scaler.transform(batch.aux_features),
+            batch=batch.batch,
+            targets=self.target_scaler.transform(batch.targets),
+            num_graphs=batch.num_graphs,
+        )
+
+    # ------------------------------------------------------------------ #
+    def predict(self, dataset: GraphDataset, batch_size: Optional[int] = None) -> np.ndarray:
+        """Predict runtimes (microseconds) for every sample in *dataset*."""
+        if not self._fitted_scalers:
+            raise RuntimeError("Trainer.fit must run before predict")
+        if len(dataset) == 0:
+            return np.zeros(0)
+        batch_size = batch_size or self.config.batch_size
+        outputs: List[np.ndarray] = []
+        for batch in dataset.batches(batch_size, shuffle=False):
+            scaled = self._scaled_batch(batch)
+            outputs.append(self.model.predict(scaled))
+        scaled_predictions = np.concatenate(outputs)
+        # clamp to the scaler's range before inverting so expm1 cannot overflow
+        scaled_predictions = np.clip(scaled_predictions, 0.0, 1.0)
+        return self.target_scaler.inverse_transform(scaled_predictions)
+
+    def evaluate(self, dataset: GraphDataset) -> Dict[str, float]:
+        """RMSE / normalized RMSE of the current model on *dataset*."""
+        predictions = self.predict(dataset)
+        actual = dataset.targets()
+        return {
+            "rmse": rmse(actual, predictions),
+            "normalized_rmse": normalized_rmse(actual, predictions),
+        }
+
+    # ------------------------------------------------------------------ #
+    def fit(self, train: GraphDataset, validation: Optional[GraphDataset] = None) -> History:
+        """Train the model; returns the per-epoch :class:`History`."""
+        if len(train) == 0:
+            raise ValueError("training dataset is empty")
+        config = self.config
+        rng = np.random.default_rng(config.seed)
+        self._fit_scalers(train)
+        optimizer = Adam(self.model.parameters(), lr=config.learning_rate,
+                         weight_decay=config.weight_decay)
+        loss_fn = MSELoss()
+        history = History()
+        best_rmse = float("inf")
+        epochs_since_best = 0
+
+        for epoch in range(1, config.epochs + 1):
+            self.model.train()
+            epoch_losses: List[float] = []
+            for batch in train.batches(config.batch_size, shuffle=config.shuffle, rng=rng):
+                scaled = self._scaled_batch(batch)
+                optimizer.zero_grad()
+                prediction = self.model(scaled)
+                loss = loss_fn(prediction, Tensor(scaled.targets))
+                loss.backward()
+                optimizer.step()
+                epoch_losses.append(loss.item())
+            train_loss = float(np.mean(epoch_losses)) if epoch_losses else 0.0
+
+            if validation is not None and len(validation) > 0:
+                metrics = self.evaluate(validation)
+                val_rmse, val_norm = metrics["rmse"], metrics["normalized_rmse"]
+            else:
+                val_rmse, val_norm = float("nan"), float("nan")
+            history.append(EpochRecord(epoch, train_loss, val_rmse, val_norm))
+
+            if config.log_every and epoch % config.log_every == 0:  # pragma: no cover
+                print(f"epoch {epoch:4d}  train_loss={train_loss:.6f}  "
+                      f"val_rmse={val_rmse:.3f}")
+
+            if config.early_stopping_patience and validation is not None:
+                if val_rmse < best_rmse - 1e-12:
+                    best_rmse = val_rmse
+                    epochs_since_best = 0
+                else:
+                    epochs_since_best += 1
+                    if epochs_since_best >= config.early_stopping_patience:
+                        break
+        return history

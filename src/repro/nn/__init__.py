@@ -1,0 +1,40 @@
+"""``repro.nn`` — a NumPy reverse-mode autograd neural-network substrate.
+
+Substitute for PyTorch: tensors with automatic differentiation, standard
+layers (Linear/MLP/Dropout/Embedding), MSE loss and the Adam optimizer — the
+pieces the ParaGraph GNN and the COMPOFF baseline are built from.
+"""
+
+from . import functional
+from .init import kaiming_uniform, xavier_normal, xavier_uniform
+from .layers import MLP, Dropout, Embedding, Linear, ReLU, Sequential
+from .losses import HuberLoss, MAELoss, MSELoss
+from .module import Module, Parameter
+from .optim import Adam, Optimizer, SGD
+from .tensor import Tensor, concatenate, ones, stack, zeros
+
+__all__ = [
+    "Adam",
+    "Dropout",
+    "Embedding",
+    "HuberLoss",
+    "Linear",
+    "MAELoss",
+    "MLP",
+    "MSELoss",
+    "Module",
+    "Optimizer",
+    "Parameter",
+    "ReLU",
+    "SGD",
+    "Sequential",
+    "Tensor",
+    "concatenate",
+    "functional",
+    "kaiming_uniform",
+    "ones",
+    "stack",
+    "xavier_normal",
+    "xavier_uniform",
+    "zeros",
+]

@@ -1,0 +1,45 @@
+"""Weight-initialization schemes (Glorot/Xavier, Kaiming/He, uniform)."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+def xavier_uniform(shape: Tuple[int, ...], rng: Optional[np.random.Generator] = None,
+                   gain: float = 1.0) -> np.ndarray:
+    """Glorot uniform initialization, appropriate before tanh/linear layers."""
+    rng = rng or np.random.default_rng()
+    fan_in, fan_out = _fans(shape)
+    limit = gain * np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def xavier_normal(shape: Tuple[int, ...], rng: Optional[np.random.Generator] = None,
+                  gain: float = 1.0) -> np.ndarray:
+    """Glorot normal initialization."""
+    rng = rng or np.random.default_rng()
+    fan_in, fan_out = _fans(shape)
+    std = gain * np.sqrt(2.0 / (fan_in + fan_out))
+    return rng.normal(0.0, std, size=shape)
+
+
+def kaiming_uniform(shape: Tuple[int, ...], rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """He uniform initialization, appropriate before ReLU layers."""
+    rng = rng or np.random.default_rng()
+    fan_in, _ = _fans(shape)
+    limit = np.sqrt(6.0 / max(fan_in, 1))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def zeros(shape: Tuple[int, ...]) -> np.ndarray:
+    return np.zeros(shape)
+
+
+def _fans(shape: Tuple[int, ...]) -> Tuple[int, int]:
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    fan_in = int(np.prod(shape[:-1]))
+    fan_out = int(shape[-1])
+    return max(fan_in, 1), max(fan_out, 1)

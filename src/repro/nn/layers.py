@@ -1,0 +1,127 @@
+"""Standard layers: Linear, MLP, Dropout, Embedding, Sequential.
+
+These cover everything the ParaGraph model head and the COMPOFF baseline
+need: fully-connected layers with ReLU activations (the paper uses two FC
+layers after the graph convolutions, one FC layer to embed the teams/threads
+features, and a final FC layer for the runtime prediction).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from . import functional as F
+from . import init
+from .module import Module, Parameter
+from .tensor import Tensor, concatenate
+
+
+class Linear(Module):
+    """Affine transformation ``y = x W + b``."""
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        rng = rng or np.random.default_rng()
+        self.weight = Parameter(init.kaiming_uniform((in_features, out_features), rng))
+        self.bias = Parameter(np.zeros(out_features)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Linear({self.in_features}, {self.out_features})"
+
+
+class Dropout(Module):
+    """Inverted dropout; identity in eval mode."""
+
+    def __init__(self, p: float = 0.5, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError("dropout probability must be in [0, 1)")
+        self.p = p
+        self.rng = rng or np.random.default_rng()
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.dropout(x, self.p, self.training, self.rng)
+
+
+class ReLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return F.relu(x)
+
+
+class Sequential(Module):
+    """Apply child modules in order."""
+
+    def __init__(self, *modules: Module) -> None:
+        super().__init__()
+        self.layers: List[Module] = []
+        for i, module in enumerate(modules):
+            self.register_module(f"layer{i}", module)
+            self.layers.append(module)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for module in self.layers:
+            x = module(x)
+        return x
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+
+class MLP(Module):
+    """A stack of Linear + ReLU layers ending with a plain Linear.
+
+    ``hidden_dims`` gives the widths of the hidden layers; the output layer
+    maps to ``out_features`` without a non-linearity (regression head).
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        hidden_dims: Sequence[int],
+        out_features: int,
+        dropout: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        dims = [in_features] + list(hidden_dims)
+        modules: List[Module] = []
+        for i in range(len(dims) - 1):
+            modules.append(Linear(dims[i], dims[i + 1], rng=rng))
+            modules.append(ReLU())
+            if dropout > 0:
+                modules.append(Dropout(dropout, rng=rng))
+        modules.append(Linear(dims[-1], out_features, rng=rng))
+        self.body = Sequential(*modules)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.body(x)
+
+
+class Embedding(Module):
+    """Lookup table mapping integer ids to dense vectors."""
+
+    def __init__(self, num_embeddings: int, embedding_dim: int,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.num_embeddings = num_embeddings
+        self.embedding_dim = embedding_dim
+        self.weight = Parameter(rng.normal(0.0, 0.1, size=(num_embeddings, embedding_dim)))
+
+    def forward(self, indices: np.ndarray) -> Tensor:
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.min(initial=0) < 0 or indices.max(initial=0) >= self.num_embeddings:
+            raise IndexError("embedding index out of range")
+        return self.weight.index_select(indices)

@@ -1,0 +1,32 @@
+"""Loss functions as modules (the paper trains with Mean Squared Error)."""
+
+from __future__ import annotations
+
+from . import functional as F
+from .module import Module
+from .tensor import Tensor
+
+
+class MSELoss(Module):
+    """Mean squared error — the loss used to train the ParaGraph model."""
+
+    def forward(self, prediction: Tensor, target: Tensor) -> Tensor:
+        return F.mse_loss(prediction, target)
+
+
+class MAELoss(Module):
+    """Mean absolute error (used in some evaluation diagnostics)."""
+
+    def forward(self, prediction: Tensor, target: Tensor) -> Tensor:
+        return F.mae_loss(prediction, target)
+
+
+class HuberLoss(Module):
+    """Huber loss; robust alternative for heavy-tailed runtimes."""
+
+    def __init__(self, delta: float = 1.0) -> None:
+        super().__init__()
+        self.delta = delta
+
+    def forward(self, prediction: Tensor, target: Tensor) -> Tensor:
+        return F.huber_loss(prediction, target, self.delta)

@@ -1,0 +1,90 @@
+"""Optimizers: SGD (with momentum) and Adam (the paper's optimizer)."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from .module import Parameter
+
+
+class Optimizer:
+    """Base class holding the parameter list and the zero-grad helper."""
+
+    def __init__(self, parameters: Iterable[Parameter]) -> None:
+        self.parameters: List[Parameter] = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer received no parameters")
+
+    def zero_grad(self) -> None:
+        for parameter in self.parameters:
+            parameter.grad = None
+
+    def step(self) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def _grad(self, parameter: Parameter) -> np.ndarray:
+        return parameter.grad if parameter.grad is not None else np.zeros_like(parameter.data)
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum and weight decay."""
+
+    def __init__(self, parameters: Iterable[Parameter], lr: float = 1e-2,
+                 momentum: float = 0.0, weight_decay: float = 0.0) -> None:
+        super().__init__(parameters)
+        self.lr = lr
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity: Dict[int, np.ndarray] = {}
+
+    def step(self) -> None:
+        for parameter in self.parameters:
+            grad = self._grad(parameter)
+            if self.weight_decay:
+                grad = grad + self.weight_decay * parameter.data
+            if self.momentum:
+                velocity = self._velocity.get(id(parameter))
+                if velocity is None:
+                    velocity = np.zeros_like(parameter.data)
+                velocity = self.momentum * velocity + grad
+                self._velocity[id(parameter)] = velocity
+                grad = velocity
+            parameter.data = parameter.data - self.lr * grad
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba, 2015) — the optimizer used in the paper (§IV-B)."""
+
+    def __init__(self, parameters: Iterable[Parameter], lr: float = 1e-3,
+                 betas: tuple = (0.9, 0.999), eps: float = 1e-8,
+                 weight_decay: float = 0.0) -> None:
+        super().__init__(parameters)
+        self.lr = lr
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._step_count = 0
+        self._m: Dict[int, np.ndarray] = {}
+        self._v: Dict[int, np.ndarray] = {}
+
+    def step(self) -> None:
+        self._step_count += 1
+        t = self._step_count
+        for parameter in self.parameters:
+            grad = self._grad(parameter)
+            if self.weight_decay:
+                grad = grad + self.weight_decay * parameter.data
+            m = self._m.get(id(parameter))
+            v = self._v.get(id(parameter))
+            if m is None:
+                m = np.zeros_like(parameter.data)
+                v = np.zeros_like(parameter.data)
+            m = self.beta1 * m + (1 - self.beta1) * grad
+            v = self.beta2 * v + (1 - self.beta2) * (grad * grad)
+            self._m[id(parameter)] = m
+            self._v[id(parameter)] = v
+            m_hat = m / (1 - self.beta1 ** t)
+            v_hat = v / (1 - self.beta2 ** t)
+            parameter.data = parameter.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

@@ -1,0 +1,466 @@
+"""A small reverse-mode automatic-differentiation engine on NumPy arrays.
+
+The original ParaGraph model is implemented with PyTorch / PyTorch-Geometric,
+which are not available offline.  This module provides the subset of a tensor
+library that the reproduction needs:
+
+* :class:`Tensor` — wraps a ``numpy.ndarray``, records the operations applied
+  to it and can back-propagate gradients through them,
+* elementwise arithmetic with full broadcasting support,
+* matrix multiplication, reductions, reshaping, concatenation,
+* the gather / scatter-add primitives required by message-passing GNNs.
+
+The engine is deliberately eager and single-threaded: graphs in this problem
+have a few hundred nodes, so clarity and correctness win over micro-
+optimization (per the HPC-Python guides: vectorize with NumPy, avoid copies,
+profile before optimizing further).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+ArrayLike = Union["Tensor", np.ndarray, float, int, Sequence]
+
+
+def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Reduce *grad* so it matches *shape* (inverse of NumPy broadcasting)."""
+    if grad.shape == shape:
+        return grad
+    # sum over leading broadcast dimensions
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    # sum over axes that were broadcast from size 1
+    for axis, size in enumerate(shape):
+        if size == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A differentiable NumPy array."""
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_prev", "_op")
+
+    def __init__(
+        self,
+        data: ArrayLike,
+        requires_grad: bool = False,
+        _children: Tuple["Tensor", ...] = (),
+        _op: str = "",
+    ) -> None:
+        if isinstance(data, Tensor):
+            data = data.data
+        self.data = np.asarray(data, dtype=np.float64)
+        self.requires_grad = bool(requires_grad)
+        self.grad: Optional[np.ndarray] = None
+        self._backward: Callable[[], None] = lambda: None
+        self._prev: Tuple[Tensor, ...] = _children
+        self._op = _op
+
+    # ------------------------------------------------------------------ #
+    # basics
+    # ------------------------------------------------------------------ #
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def item(self) -> float:
+        return float(self.data.reshape(-1)[0]) if self.data.size else 0.0
+
+    def numpy(self) -> np.ndarray:
+        return self.data
+
+    def detach(self) -> "Tensor":
+        return Tensor(self.data.copy(), requires_grad=False)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if self.grad is None:
+            self.grad = np.zeros_like(self.data)
+        self.grad = self.grad + grad
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Tensor(shape={self.shape}, requires_grad={self.requires_grad}, op={self._op!r})"
+
+    # ------------------------------------------------------------------ #
+    # autograd
+    # ------------------------------------------------------------------ #
+    def backward(self, grad: Optional[np.ndarray] = None) -> None:
+        """Back-propagate from this tensor (defaults to d(self)/d(self)=1)."""
+        if grad is None:
+            grad = np.ones_like(self.data)
+        else:
+            grad = np.asarray(grad, dtype=np.float64)
+        # topological order over the recorded graph
+        topo: List[Tensor] = []
+        visited = set()
+
+        def build(node: "Tensor") -> None:
+            if id(node) in visited:
+                return
+            visited.add(id(node))
+            for child in node._prev:
+                build(child)
+            topo.append(node)
+
+        build(self)
+        self._accumulate(grad)
+        for node in reversed(topo):
+            node._backward()
+
+    @staticmethod
+    def _wrap(value: ArrayLike) -> "Tensor":
+        return value if isinstance(value, Tensor) else Tensor(value)
+
+    def _make(self, data: np.ndarray, children: Tuple["Tensor", ...], op: str) -> "Tensor":
+        requires = any(c.requires_grad for c in children)
+        return Tensor(data, requires_grad=requires, _children=children if requires else (), _op=op)
+
+    # ------------------------------------------------------------------ #
+    # arithmetic
+    # ------------------------------------------------------------------ #
+    def __add__(self, other: ArrayLike) -> "Tensor":
+        other = self._wrap(other)
+        out = self._make(self.data + other.data, (self, other), "add")
+
+        def _backward() -> None:
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(out.grad, self.shape))
+            if other.requires_grad:
+                other._accumulate(_unbroadcast(out.grad, other.shape))
+
+        out._backward = _backward
+        return out
+
+    def __mul__(self, other: ArrayLike) -> "Tensor":
+        other = self._wrap(other)
+        out = self._make(self.data * other.data, (self, other), "mul")
+
+        def _backward() -> None:
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(out.grad * other.data, self.shape))
+            if other.requires_grad:
+                other._accumulate(_unbroadcast(out.grad * self.data, other.shape))
+
+        out._backward = _backward
+        return out
+
+    def __neg__(self) -> "Tensor":
+        return self * -1.0
+
+    def __sub__(self, other: ArrayLike) -> "Tensor":
+        return self + (-self._wrap(other))
+
+    def __rsub__(self, other: ArrayLike) -> "Tensor":
+        return self._wrap(other) + (-self)
+
+    def __truediv__(self, other: ArrayLike) -> "Tensor":
+        return self * self._wrap(other).pow(-1.0)
+
+    def __rtruediv__(self, other: ArrayLike) -> "Tensor":
+        return self._wrap(other) * self.pow(-1.0)
+
+    __radd__ = __add__
+    __rmul__ = __mul__
+
+    def pow(self, exponent: float) -> "Tensor":
+        out = self._make(np.power(self.data, exponent), (self,), "pow")
+
+        def _backward() -> None:
+            if self.requires_grad:
+                self._accumulate(out.grad * exponent * np.power(self.data, exponent - 1))
+
+        out._backward = _backward
+        return out
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        return self.pow(exponent)
+
+    def __matmul__(self, other: ArrayLike) -> "Tensor":
+        other = self._wrap(other)
+        out = self._make(self.data @ other.data, (self, other), "matmul")
+
+        def _backward() -> None:
+            if self.requires_grad:
+                grad = out.grad @ np.swapaxes(other.data, -1, -2)
+                self._accumulate(_unbroadcast(grad, self.shape))
+            if other.requires_grad:
+                grad = np.swapaxes(self.data, -1, -2) @ out.grad
+                other._accumulate(_unbroadcast(grad, other.shape))
+
+        out._backward = _backward
+        return out
+
+    def matmul(self, other: ArrayLike) -> "Tensor":
+        return self @ other
+
+    # ------------------------------------------------------------------ #
+    # elementwise non-linearities
+    # ------------------------------------------------------------------ #
+    def exp(self) -> "Tensor":
+        out = self._make(np.exp(self.data), (self,), "exp")
+
+        def _backward() -> None:
+            if self.requires_grad:
+                self._accumulate(out.grad * out.data)
+
+        out._backward = _backward
+        return out
+
+    def log(self, eps: float = 1e-12) -> "Tensor":
+        out = self._make(np.log(self.data + eps), (self,), "log")
+
+        def _backward() -> None:
+            if self.requires_grad:
+                self._accumulate(out.grad / (self.data + eps))
+
+        out._backward = _backward
+        return out
+
+    def relu(self) -> "Tensor":
+        out = self._make(np.maximum(self.data, 0.0), (self,), "relu")
+
+        def _backward() -> None:
+            if self.requires_grad:
+                self._accumulate(out.grad * (self.data > 0))
+
+        out._backward = _backward
+        return out
+
+    def leaky_relu(self, negative_slope: float = 0.2) -> "Tensor":
+        out = self._make(
+            np.where(self.data > 0, self.data, negative_slope * self.data),
+            (self,), "leaky_relu",
+        )
+
+        def _backward() -> None:
+            if self.requires_grad:
+                factor = np.where(self.data > 0, 1.0, negative_slope)
+                self._accumulate(out.grad * factor)
+
+        out._backward = _backward
+        return out
+
+    def sigmoid(self) -> "Tensor":
+        value = 1.0 / (1.0 + np.exp(-np.clip(self.data, -60, 60)))
+        out = self._make(value, (self,), "sigmoid")
+
+        def _backward() -> None:
+            if self.requires_grad:
+                self._accumulate(out.grad * out.data * (1.0 - out.data))
+
+        out._backward = _backward
+        return out
+
+    def tanh(self) -> "Tensor":
+        value = np.tanh(self.data)
+        out = self._make(value, (self,), "tanh")
+
+        def _backward() -> None:
+            if self.requires_grad:
+                self._accumulate(out.grad * (1.0 - out.data ** 2))
+
+        out._backward = _backward
+        return out
+
+    def abs(self) -> "Tensor":
+        out = self._make(np.abs(self.data), (self,), "abs")
+
+        def _backward() -> None:
+            if self.requires_grad:
+                self._accumulate(out.grad * np.sign(self.data))
+
+        out._backward = _backward
+        return out
+
+    def clip(self, low: float, high: float) -> "Tensor":
+        out = self._make(np.clip(self.data, low, high), (self,), "clip")
+
+        def _backward() -> None:
+            if self.requires_grad:
+                inside = (self.data >= low) & (self.data <= high)
+                self._accumulate(out.grad * inside)
+
+        out._backward = _backward
+        return out
+
+    # ------------------------------------------------------------------ #
+    # reductions
+    # ------------------------------------------------------------------ #
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out = self._make(self.data.sum(axis=axis, keepdims=keepdims), (self,), "sum")
+
+        def _backward() -> None:
+            if not self.requires_grad:
+                return
+            grad = out.grad
+            if axis is not None and not keepdims:
+                grad = np.expand_dims(grad, axis)
+            self._accumulate(np.broadcast_to(grad, self.shape).copy())
+
+        out._backward = _backward
+        return out
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        denom = self.data.size if axis is None else self.data.shape[axis]
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / denom)
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out = self._make(self.data.max(axis=axis, keepdims=keepdims), (self,), "max")
+
+        def _backward() -> None:
+            if not self.requires_grad:
+                return
+            grad = out.grad
+            value = out.data
+            if axis is not None and not keepdims:
+                grad = np.expand_dims(grad, axis)
+                value = np.expand_dims(value, axis)
+            mask = (self.data == value)
+            counts = mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
+            self._accumulate(grad * mask / np.maximum(counts, 1))
+
+        out._backward = _backward
+        return out
+
+    # ------------------------------------------------------------------ #
+    # shape manipulation
+    # ------------------------------------------------------------------ #
+    def reshape(self, *shape: int) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        out = self._make(self.data.reshape(shape), (self,), "reshape")
+
+        def _backward() -> None:
+            if self.requires_grad:
+                self._accumulate(out.grad.reshape(self.shape))
+
+        out._backward = _backward
+        return out
+
+    def transpose(self, axes: Optional[Tuple[int, ...]] = None) -> "Tensor":
+        out = self._make(np.transpose(self.data, axes), (self,), "transpose")
+
+        def _backward() -> None:
+            if self.requires_grad:
+                if axes is None:
+                    self._accumulate(np.transpose(out.grad))
+                else:
+                    inverse = np.argsort(axes)
+                    self._accumulate(np.transpose(out.grad, inverse))
+
+        out._backward = _backward
+        return out
+
+    def __getitem__(self, index) -> "Tensor":
+        out = self._make(self.data[index], (self,), "getitem")
+
+        def _backward() -> None:
+            if self.requires_grad:
+                grad = np.zeros_like(self.data)
+                np.add.at(grad, index, out.grad)
+                self._accumulate(grad)
+
+        out._backward = _backward
+        return out
+
+    # ------------------------------------------------------------------ #
+    # graph primitives
+    # ------------------------------------------------------------------ #
+    def index_select(self, indices: np.ndarray) -> "Tensor":
+        """Gather rows (first axis) at integer *indices* (differentiable)."""
+        indices = np.asarray(indices, dtype=np.int64)
+        out = self._make(self.data[indices], (self,), "index_select")
+
+        def _backward() -> None:
+            if self.requires_grad:
+                grad = np.zeros_like(self.data)
+                np.add.at(grad, indices, out.grad)
+                self._accumulate(grad)
+
+        out._backward = _backward
+        return out
+
+    def scatter_add(self, indices: np.ndarray, num_segments: int) -> "Tensor":
+        """Sum rows of ``self`` into ``num_segments`` buckets given by *indices*.
+
+        ``out[k] = sum_{i : indices[i] == k} self[i]`` — the aggregation step
+        of message passing and of global pooling.
+        """
+        indices = np.asarray(indices, dtype=np.int64)
+        out_shape = (num_segments,) + self.data.shape[1:]
+        data = np.zeros(out_shape, dtype=np.float64)
+        np.add.at(data, indices, self.data)
+        out = self._make(data, (self,), "scatter_add")
+
+        def _backward() -> None:
+            if self.requires_grad:
+                self._accumulate(out.grad[indices])
+
+        out._backward = _backward
+        return out
+
+
+def concatenate(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Differentiable concatenation along *axis*."""
+    tensors = [Tensor._wrap(t) for t in tensors]
+    data = np.concatenate([t.data for t in tensors], axis=axis)
+    requires = any(t.requires_grad for t in tensors)
+    out = Tensor(data, requires_grad=requires,
+                 _children=tuple(tensors) if requires else (), _op="concat")
+
+    def _backward() -> None:
+        offset = 0
+        for tensor in tensors:
+            length = tensor.data.shape[axis]
+            slicer = [slice(None)] * data.ndim
+            slicer[axis] = slice(offset, offset + length)
+            if tensor.requires_grad:
+                tensor._accumulate(out.grad[tuple(slicer)])
+            offset += length
+
+    out._backward = _backward
+    return out
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Differentiable stack along a new axis."""
+    tensors = [Tensor._wrap(t) for t in tensors]
+    data = np.stack([t.data for t in tensors], axis=axis)
+    requires = any(t.requires_grad for t in tensors)
+    out = Tensor(data, requires_grad=requires,
+                 _children=tuple(tensors) if requires else (), _op="stack")
+
+    def _backward() -> None:
+        grads = np.split(out.grad, len(tensors), axis=axis)
+        for tensor, grad in zip(tensors, grads):
+            if tensor.requires_grad:
+                tensor._accumulate(np.squeeze(grad, axis=axis))
+
+    out._backward = _backward
+    return out
+
+
+def zeros(shape: Tuple[int, ...], requires_grad: bool = False) -> Tensor:
+    return Tensor(np.zeros(shape), requires_grad=requires_grad)
+
+
+def ones(shape: Tuple[int, ...], requires_grad: bool = False) -> Tensor:
+    return Tensor(np.ones(shape), requires_grad=requires_grad)

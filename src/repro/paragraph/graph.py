@@ -1,0 +1,199 @@
+"""The ParaGraph data structure.
+
+The paper formalizes ParaGraph as ``ParaGraph = (V, E, T, W)`` (Eq. 2): a set
+of nodes, an adjacency structure, per-edge types and per-edge weights.  This
+module provides the container used throughout the library:
+
+* nodes carry a label (the AST node kind), the token spelling (if any) and a
+  back-reference to the originating AST node,
+* edges are :class:`~repro.paragraph.edges.Edge` records,
+* conversion helpers produce NumPy arrays (for the GNN) and ``networkx``
+  graphs (for analysis / visualization / property tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..clang.ast_nodes import ASTNode
+from .edges import Edge, EdgeType, NUM_EDGE_TYPES
+
+
+@dataclass
+class GraphNode:
+    """A vertex of the ParaGraph."""
+
+    node_id: int
+    label: str
+    spelling: str = ""
+    is_terminal: bool = False
+    ast_node: Optional[ASTNode] = field(default=None, repr=False, compare=False)
+
+
+class ParaGraph:
+    """Container for the weighted, typed program graph.
+
+    Nodes are added through :meth:`add_node` (which assigns consecutive ids)
+    and edges through :meth:`add_edge`.  The builder in
+    :mod:`repro.paragraph.builder` is the canonical producer.
+    """
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.nodes: List[GraphNode] = []
+        self.edges: List[Edge] = []
+        self._ast_to_id: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    def add_node(
+        self,
+        label: str,
+        spelling: str = "",
+        is_terminal: bool = False,
+        ast_node: Optional[ASTNode] = None,
+    ) -> int:
+        """Add a vertex and return its id."""
+        node_id = len(self.nodes)
+        self.nodes.append(GraphNode(node_id, label, spelling, is_terminal, ast_node))
+        if ast_node is not None:
+            self._ast_to_id[id(ast_node)] = node_id
+        return node_id
+
+    def add_edge(
+        self,
+        src: int,
+        dst: int,
+        edge_type: EdgeType,
+        weight: float = 0.0,
+    ) -> Edge:
+        """Add a directed edge.  Non-Child edges always get weight 0."""
+        if edge_type is not EdgeType.CHILD:
+            weight = 0.0
+        if not (0 <= src < len(self.nodes)) or not (0 <= dst < len(self.nodes)):
+            raise IndexError(f"edge ({src}, {dst}) references unknown node")
+        edge = Edge(src, dst, edge_type, float(weight))
+        self.edges.append(edge)
+        return edge
+
+    def node_id_for(self, ast_node: ASTNode) -> Optional[int]:
+        """Return the vertex id created for *ast_node*, if any."""
+        return self._ast_to_id.get(id(ast_node))
+
+    # ------------------------------------------------------------------ #
+    # inspection
+    # ------------------------------------------------------------------ #
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.edges)
+
+    def edges_of_type(self, edge_type: EdgeType) -> List[Edge]:
+        """Every edge with the given type."""
+        return [e for e in self.edges if e.edge_type is edge_type]
+
+    def edge_type_counts(self) -> Dict[EdgeType, int]:
+        """Histogram of edge types."""
+        counts: Dict[EdgeType, int] = {t: 0 for t in EdgeType}
+        for edge in self.edges:
+            counts[edge.edge_type] += 1
+        return counts
+
+    def out_edges(self, node_id: int) -> List[Edge]:
+        return [e for e in self.edges if e.src == node_id]
+
+    def in_edges(self, node_id: int) -> List[Edge]:
+        return [e for e in self.edges if e.dst == node_id]
+
+    def node_labels(self) -> List[str]:
+        return [n.label for n in self.nodes]
+
+    def __iter__(self) -> Iterator[GraphNode]:
+        return iter(self.nodes)
+
+    def __len__(self) -> int:
+        return self.num_nodes
+
+    def __repr__(self) -> str:
+        return (
+            f"ParaGraph(name={self.name!r}, nodes={self.num_nodes}, "
+            f"edges={self.num_edges})"
+        )
+
+    # ------------------------------------------------------------------ #
+    # exports
+    # ------------------------------------------------------------------ #
+    def edge_index(self) -> np.ndarray:
+        """Return the 2×E edge-index array (source row, destination row)."""
+        if not self.edges:
+            return np.zeros((2, 0), dtype=np.int64)
+        return np.array([[e.src for e in self.edges],
+                         [e.dst for e in self.edges]], dtype=np.int64)
+
+    def edge_types(self) -> np.ndarray:
+        """Return the per-edge type array (E,)."""
+        return np.array([int(e.edge_type) for e in self.edges], dtype=np.int64)
+
+    def edge_weights(self) -> np.ndarray:
+        """Return the per-edge weight array (E,)."""
+        return np.array([e.weight for e in self.edges], dtype=np.float64)
+
+    def adjacency_matrix(self, edge_type: Optional[EdgeType] = None) -> np.ndarray:
+        """Dense adjacency matrix (optionally restricted to one edge type)."""
+        matrix = np.zeros((self.num_nodes, self.num_nodes), dtype=np.float64)
+        for edge in self.edges:
+            if edge_type is not None and edge.edge_type is not edge_type:
+                continue
+            matrix[edge.src, edge.dst] = 1.0
+        return matrix
+
+    def to_networkx(self):
+        """Convert to a ``networkx.MultiDiGraph`` with node/edge attributes."""
+        import networkx as nx
+
+        graph = nx.MultiDiGraph(name=self.name)
+        for node in self.nodes:
+            graph.add_node(node.node_id, label=node.label, spelling=node.spelling,
+                           is_terminal=node.is_terminal)
+        for edge in self.edges:
+            graph.add_edge(edge.src, edge.dst,
+                           edge_type=edge.edge_type.display_name,
+                           weight=edge.weight)
+        return graph
+
+    def validate(self) -> None:
+        """Check structural invariants; raise ``ValueError`` on violation.
+
+        Invariants:
+        * every edge endpoint is a valid node id,
+        * non-Child edges have zero weight,
+        * Child edges have strictly positive weight,
+        * node ids are consecutive.
+        """
+        for i, node in enumerate(self.nodes):
+            if node.node_id != i:
+                raise ValueError("node ids must be consecutive")
+        for edge in self.edges:
+            if not (0 <= edge.src < self.num_nodes and 0 <= edge.dst < self.num_nodes):
+                raise ValueError(f"dangling edge {edge}")
+            if edge.edge_type is EdgeType.CHILD:
+                if edge.weight <= 0:
+                    raise ValueError(f"Child edge with non-positive weight: {edge}")
+            elif edge.weight != 0.0:
+                raise ValueError(f"non-Child edge with non-zero weight: {edge}")
+
+    def summary(self) -> str:
+        """Human-readable one-paragraph description of the graph."""
+        counts = self.edge_type_counts()
+        parts = [f"{t.display_name}={counts[t]}" for t in EdgeType if counts[t]]
+        return (
+            f"{self.name or 'ParaGraph'}: {self.num_nodes} nodes, "
+            f"{self.num_edges} edges ({', '.join(parts)})"
+        )

@@ -1,0 +1,46 @@
+"""Graph-representation variants used in the ablation study (§V-C).
+
+The paper compares three levels of the representation:
+
+* **Raw AST** — only the AST nodes and ``Child`` edges, no weights (all 1),
+* **Augmented AST** — all eight edge types, still no weights,
+* **ParaGraph** — all edge types plus the execution-count edge weights.
+
+:class:`GraphVariant` names those levels and is consumed by
+:func:`repro.paragraph.builder.build_paragraph` and by the ablation
+experiment drivers.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class GraphVariant(Enum):
+    """Ablation level of the graph representation."""
+
+    RAW_AST = "raw_ast"
+    AUGMENTED_AST = "augmented_ast"
+    PARAGRAPH = "paragraph"
+
+    @property
+    def includes_augmentation_edges(self) -> bool:
+        """Whether NextToken/NextSib/Ref/ForExec/ForNext/ConTrue/ConFalse are added."""
+        return self is not GraphVariant.RAW_AST
+
+    @property
+    def includes_weights(self) -> bool:
+        """Whether Child edges carry execution-count weights."""
+        return self is GraphVariant.PARAGRAPH
+
+    @property
+    def display_name(self) -> str:
+        return {
+            GraphVariant.RAW_AST: "Raw AST",
+            GraphVariant.AUGMENTED_AST: "Augmented AST",
+            GraphVariant.PARAGRAPH: "ParaGraph",
+        }[self]
+
+
+#: The order used in the paper's Table IV / Fig. 7.
+ABLATION_ORDER = (GraphVariant.RAW_AST, GraphVariant.AUGMENTED_AST, GraphVariant.PARAGRAPH)

@@ -1,0 +1,105 @@
+"""Node-label vocabulary for encoding ParaGraph vertices as feature vectors.
+
+The GNN consumes a numeric node-feature matrix; each vertex is labelled with
+its Clang node kind (``ForStmt``, ``BinaryOperator`` …).  The vocabulary maps
+those labels to stable integer indices, with an ``<UNK>`` bucket for kinds
+outside the known set so that graphs built from arbitrary sources still
+encode.
+
+A fixed, library-wide default vocabulary (:func:`default_vocabulary`) covers
+every node class defined in :mod:`repro.clang.ast_nodes`; a vocabulary can
+also be fitted from a corpus of graphs (:meth:`Vocabulary.fit`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+UNK_TOKEN = "<UNK>"
+
+#: Every AST node kind the frontend can produce, in a stable order.
+DEFAULT_NODE_KINDS: List[str] = [
+    # declarations
+    "TranslationUnitDecl", "FunctionDecl", "ParmVarDecl", "VarDecl",
+    # statements
+    "CompoundStmt", "DeclStmt", "NullStmt", "IfStmt", "ForStmt", "WhileStmt",
+    "DoStmt", "ReturnStmt", "BreakStmt", "ContinueStmt",
+    # expressions
+    "BinaryOperator", "CompoundAssignOperator", "UnaryOperator",
+    "ConditionalOperator", "CallExpr", "ArraySubscriptExpr", "MemberExpr",
+    "DeclRefExpr", "IntegerLiteral", "FloatingLiteral", "CharacterLiteral",
+    "StringLiteral", "ParenExpr", "ImplicitCastExpr", "CStyleCastExpr",
+    "SizeOfExpr", "InitListExpr",
+    # OpenMP
+    "OMPClause", "OMPParallelForDirective", "OMPParallelDirective",
+    "OMPForDirective", "OMPSimdDirective", "OMPTargetDirective",
+    "OMPTargetDataDirective", "OMPTargetEnterDataDirective",
+    "OMPTargetExitDataDirective", "OMPTargetUpdateDirective",
+    "OMPTeamsDistributeParallelForDirective",
+    "OMPTargetTeamsDistributeParallelForDirective",
+    "OMPCriticalDirective", "OMPAtomicDirective", "OMPBarrierDirective",
+    "OMPGenericDirective",
+]
+
+
+class Vocabulary:
+    """Bidirectional mapping between node labels and integer indices."""
+
+    def __init__(self, labels: Optional[Sequence[str]] = None) -> None:
+        labels = list(labels if labels is not None else DEFAULT_NODE_KINDS)
+        if UNK_TOKEN not in labels:
+            labels = [UNK_TOKEN] + labels
+        self._index: Dict[str, int] = {label: i for i, label in enumerate(labels)}
+        self._labels: List[str] = labels
+
+    # ------------------------------------------------------------------ #
+    @property
+    def size(self) -> int:
+        """Number of labels (including ``<UNK>``)."""
+        return len(self._labels)
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __contains__(self, label: str) -> bool:
+        return label in self._index
+
+    def index(self, label: str) -> int:
+        """Index of *label*, or of ``<UNK>`` when unknown."""
+        return self._index.get(label, self._index[UNK_TOKEN])
+
+    def label(self, index: int) -> str:
+        return self._labels[index]
+
+    def labels(self) -> List[str]:
+        return list(self._labels)
+
+    # ------------------------------------------------------------------ #
+    def encode(self, labels: Iterable[str]) -> np.ndarray:
+        """Encode a sequence of labels as an int64 index array."""
+        return np.array([self.index(label) for label in labels], dtype=np.int64)
+
+    def one_hot(self, labels: Iterable[str]) -> np.ndarray:
+        """Encode labels as a dense one-hot matrix (n, vocab_size)."""
+        indices = self.encode(labels)
+        matrix = np.zeros((len(indices), self.size), dtype=np.float64)
+        if len(indices):
+            matrix[np.arange(len(indices)), indices] = 1.0
+        return matrix
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def fit(cls, label_sequences: Iterable[Iterable[str]]) -> "Vocabulary":
+        """Build a vocabulary from a corpus of label sequences."""
+        seen: Dict[str, None] = {}
+        for sequence in label_sequences:
+            for label in sequence:
+                seen.setdefault(label, None)
+        return cls(sorted(seen))
+
+
+def default_vocabulary() -> Vocabulary:
+    """The library-wide vocabulary over all known AST node kinds."""
+    return Vocabulary(DEFAULT_NODE_KINDS)

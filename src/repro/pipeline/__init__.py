@@ -1,0 +1,45 @@
+"""``repro.pipeline`` — the end-to-end data and training workflow (Fig. 3).
+
+Variant/configuration sweeps, ParaGraph generation, (simulated) runtime
+collection, dataset assembly with Table II statistics, and the one-call
+workflow used by the examples and benchmarks.
+"""
+
+from .dataset_builder import DatasetBuilder, DatasetBuildResult, table2_statistics
+from .graph_generation import encode_configuration, generate_paragraph
+from .runtime_collection import Measurement, RuntimeCollector, drop_application
+from .variant_generation import (
+    Configuration,
+    SweepConfig,
+    filter_for_platform,
+    generate_configurations,
+    scale_sizes,
+)
+from .workflow import (
+    PlatformResult,
+    WorkflowConfig,
+    WorkflowResult,
+    run_workflow,
+    train_on_dataset,
+)
+
+__all__ = [
+    "Configuration",
+    "DatasetBuildResult",
+    "DatasetBuilder",
+    "Measurement",
+    "PlatformResult",
+    "RuntimeCollector",
+    "SweepConfig",
+    "WorkflowConfig",
+    "WorkflowResult",
+    "drop_application",
+    "encode_configuration",
+    "filter_for_platform",
+    "generate_configurations",
+    "generate_paragraph",
+    "run_workflow",
+    "scale_sizes",
+    "table2_statistics",
+    "train_on_dataset",
+]

@@ -1,0 +1,64 @@
+"""ParaGraph generation stage of the workflow (Fig. 3, "ParaGraph Generator").
+
+Each configuration's transformed source is parsed with the ``repro.clang``
+frontend, analyzed (reference resolution + implicit casts) and turned into a
+:class:`~repro.paragraph.graph.ParaGraph` with the configuration's problem
+sizes bound for the trip-count analysis and the configuration's teams /
+threads used for the OpenMP work-sharing weight division.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..clang import analyze, parse_source
+from ..clang.semantics import ConstantEnvironment
+from ..paragraph.builder import build_paragraph
+from ..paragraph.encoders import EncodedGraph, GraphEncoder
+from ..paragraph.graph import ParaGraph
+from ..paragraph.variants import GraphVariant
+from .variant_generation import Configuration
+
+
+def generate_paragraph(
+    configuration: Configuration,
+    graph_variant: GraphVariant = GraphVariant.PARAGRAPH,
+    default_trip_count: int = 16,
+) -> ParaGraph:
+    """Build the (possibly ablated) program graph for one configuration."""
+    ast = parse_source(configuration.variant.source,
+                       filename=configuration.variant.name)
+    analyze(ast)
+    env = ConstantEnvironment(dict(configuration.sizes))
+    graph = build_paragraph(
+        ast,
+        variant=graph_variant,
+        num_threads=configuration.num_threads,
+        num_teams=configuration.num_teams,
+        env=env,
+        default_trip_count=default_trip_count,
+        name=configuration.name,
+    )
+    return graph
+
+
+def encode_configuration(
+    configuration: Configuration,
+    encoder: GraphEncoder,
+    runtime_us: float,
+    graph_variant: GraphVariant = GraphVariant.PARAGRAPH,
+    platform_name: str = "",
+) -> EncodedGraph:
+    """Full graph-side preparation of one dataset sample."""
+    graph = generate_paragraph(configuration, graph_variant)
+    metadata = configuration.metadata
+    if platform_name:
+        metadata["platform"] = platform_name
+    return encoder.encode(
+        graph,
+        num_teams=configuration.num_teams,
+        num_threads=configuration.num_threads,
+        target=runtime_us,
+        name=configuration.name,
+        metadata=metadata,
+    )

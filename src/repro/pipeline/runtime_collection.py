@@ -1,0 +1,82 @@
+"""Runtime collection stage of the workflow (Fig. 3, "Runtime Measurement").
+
+On the real clusters this stage builds every variant and measures it with
+``gettimeofday`` around the kernel; here the
+:class:`~repro.hardware.simulator.RuntimeSimulator` produces the runtimes.
+The collector also reproduces the operational details §IV-A.3 mentions:
+occasional failed measurements (dropped data points — the paper lost the
+MI50 Laplace data this way) can be injected for robustness testing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..hardware.simulator import RuntimeSimulator
+from ..hardware.specs import HardwareSpec
+from .variant_generation import Configuration
+
+
+@dataclass
+class Measurement:
+    """One collected runtime."""
+
+    configuration: Configuration
+    platform: HardwareSpec
+    runtime_us: float
+
+
+class RuntimeCollector:
+    """Collects (simulated) runtimes of configurations on one platform."""
+
+    def __init__(
+        self,
+        platform: HardwareSpec,
+        noisy: bool = True,
+        failure_filter: Optional[Callable[[Configuration], bool]] = None,
+    ) -> None:
+        """``failure_filter`` returns True for configurations whose measurement
+        is considered failed/corrupted and must be dropped (modelling the
+        job failures and the corrupted MI50 Laplace data of §IV-A.3/§V-B)."""
+        self.platform = platform
+        self.simulator = RuntimeSimulator(platform, noisy=noisy)
+        self.failure_filter = failure_filter
+        self.failed: List[Configuration] = []
+
+    def collect_one(self, configuration: Configuration) -> Optional[Measurement]:
+        """Measure one configuration; returns None when dropped as failed."""
+        if configuration.variant.is_gpu != self.platform.is_gpu:
+            return None
+        if self.failure_filter is not None and self.failure_filter(configuration):
+            self.failed.append(configuration)
+            return None
+        runtime = self.simulator.measure(
+            configuration.variant,
+            configuration.sizes,
+            num_teams=configuration.num_teams,
+            num_threads=configuration.num_threads,
+            repetition=configuration.repetition,
+        )
+        return Measurement(configuration, self.platform, runtime)
+
+    def collect(self, configurations: Sequence[Configuration]) -> List[Measurement]:
+        """Measure every compatible configuration, skipping failures."""
+        measurements: List[Measurement] = []
+        for configuration in configurations:
+            measurement = self.collect_one(configuration)
+            if measurement is not None:
+                measurements.append(measurement)
+        return measurements
+
+
+def drop_application(application: str) -> Callable[[Configuration], bool]:
+    """Failure filter dropping one application's kernels.
+
+    ``drop_application("Laplace")`` reproduces the corrupted-Laplace-on-MI50
+    situation reported in §V-B.
+    """
+    def _filter(configuration: Configuration) -> bool:
+        return configuration.kernel.application == application
+
+    return _filter

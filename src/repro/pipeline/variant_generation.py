@@ -1,0 +1,133 @@
+"""Configuration sweep: the "Variant Generator" stage of the workflow (Fig. 3).
+
+The paper turns 17 kernels into ~26 000 data points by generating the six
+transformation variants and then "varying the levels of parallelism and data
+used".  This module enumerates those configurations:
+
+* per kernel: the legal subset of the six :class:`VariantKind` transformations,
+* per variant: a sweep over problem-size scales (multiplying the kernel's
+  default sizes) and over (teams, threads) execution configurations,
+* optionally several repetitions (independent noisy measurements).
+
+The output is a list of :class:`Configuration` records consumed by the graph
+generation and runtime collection stages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from ..advisor.transformations import (
+    ALL_VARIANTS,
+    KernelVariant,
+    VariantKind,
+    generate_variant,
+)
+from ..kernels.base import KernelDefinition
+from ..kernels.registry import all_kernels
+
+
+@dataclass(frozen=True)
+class Configuration:
+    """One fully-specified measurement: kernel variant + sizes + parallelism."""
+
+    variant: KernelVariant
+    sizes: Mapping[str, int]
+    num_teams: int
+    num_threads: int
+    repetition: int = 0
+
+    @property
+    def kernel(self) -> KernelDefinition:
+        return self.variant.kernel
+
+    @property
+    def name(self) -> str:
+        size_text = ",".join(f"{k}={v}" for k, v in sorted(self.sizes.items()))
+        return (f"{self.variant.name}[{size_text}]"
+                f"@teams={self.num_teams},threads={self.num_threads},rep={self.repetition}")
+
+    @property
+    def metadata(self) -> Dict[str, object]:
+        """Provenance dictionary stored with every dataset sample."""
+        return {
+            "application": self.kernel.application,
+            "kernel": self.kernel.kernel_name,
+            "variant": self.variant.kind.value,
+            "is_gpu": self.variant.is_gpu,
+            "collapse": self.variant.collapse,
+            "sizes": dict(self.sizes),
+            "num_teams": self.num_teams,
+            "num_threads": self.num_threads,
+            "repetition": self.repetition,
+        }
+
+
+@dataclass
+class SweepConfig:
+    """Parameters of the configuration sweep.
+
+    The defaults generate a small but representative dataset; the full-scale
+    experiment drivers widen them (see ``repro.evaluation.experiments``).
+    """
+
+    size_scales: Sequence[float] = (0.5, 1.0, 2.0)
+    team_counts: Sequence[int] = (32, 128)
+    thread_counts: Sequence[int] = (8, 64)
+    repetitions: int = 1
+    variant_kinds: Sequence[VariantKind] = ALL_VARIANTS
+    kernels: Optional[Sequence[KernelDefinition]] = None
+    #: problem-size floor so scaled-down kernels keep a sane loop structure
+    minimum_size: int = 2
+
+
+def scale_sizes(kernel: KernelDefinition, scale: float, minimum: int = 2) -> Dict[str, int]:
+    """Scale the kernel's default problem sizes by *scale* (flooring at *minimum*).
+
+    Dimension-like parameters (very small defaults such as the KNN feature
+    count) are left untouched so scaling varies data volume, not the kernel's
+    shape.
+    """
+    scaled: Dict[str, int] = {}
+    for name, value in kernel.default_sizes.items():
+        if value <= 8:
+            scaled[name] = int(value)
+        else:
+            scaled[name] = max(int(round(value * scale)), minimum)
+    return scaled
+
+
+def generate_configurations(sweep: Optional[SweepConfig] = None) -> List[Configuration]:
+    """Enumerate every configuration of the sweep."""
+    sweep = sweep or SweepConfig()
+    kernels = list(sweep.kernels) if sweep.kernels is not None else all_kernels()
+    configurations: List[Configuration] = []
+    for kernel in kernels:
+        for scale in sweep.size_scales:
+            sizes = scale_sizes(kernel, scale, sweep.minimum_size)
+            for kind in sweep.variant_kinds:
+                if kind.uses_collapse and kernel.collapsible_loops < 2:
+                    continue
+                variant = generate_variant(kernel, kind, sizes)
+                for teams in sweep.team_counts:
+                    for threads in sweep.thread_counts:
+                        for repetition in range(sweep.repetitions):
+                            configurations.append(Configuration(
+                                variant=variant,
+                                sizes=sizes,
+                                num_teams=teams,
+                                num_threads=threads,
+                                repetition=repetition,
+                            ))
+    return configurations
+
+
+def filter_for_platform(configurations: Sequence[Configuration], is_gpu: bool) -> List[Configuration]:
+    """Keep only configurations whose variant can run on a CPU/GPU platform.
+
+    CPU platforms execute the ``cpu`` / ``cpu_collapse`` variants, GPU
+    platforms the four ``gpu*`` variants — the same pairing the paper uses
+    when collecting Table II.
+    """
+    return [c for c in configurations if c.variant.is_gpu == is_gpu]

@@ -1,0 +1,221 @@
+"""Tests for kernel analysis, the six transformations, codegen and the Advisor."""
+
+import pytest
+
+from repro.advisor import (
+    ALL_VARIANTS,
+    CodegenError,
+    OpenMPAdvisor,
+    VariantKind,
+    analyze_kernel,
+    analyze_kernel_cached,
+    build_pragma,
+    clear_analysis_cache,
+    find_outer_loop_line,
+    generate_all_variants,
+    generate_variant,
+    insert_pragma_before_outer_loop,
+    rename_function,
+    strip_pragmas,
+)
+from repro.clang import parse_source
+from repro.clang.traversal import iter_omp_directives
+from repro.hardware import V100, analytical_cost_model
+from repro.kernels import all_kernels, get_kernel
+
+
+class TestKernelAnalysis:
+    def test_matmul_analysis_structure(self):
+        analysis = analyze_kernel(get_kernel("matmul"), {"N": 64, "M": 64, "K": 64})
+        assert analysis.loop_nest_depth == 3
+        assert analysis.collapsible_depth == 2
+        assert analysis.trip_counts[:2] == (64, 64)
+        assert analysis.total_iterations == 64 ** 3
+        assert analysis.has_reduction
+
+    def test_operation_counts_scale_with_size(self):
+        small = analyze_kernel(get_kernel("matmul"), {"N": 32, "M": 32, "K": 32})
+        large = analyze_kernel(get_kernel("matmul"), {"N": 64, "M": 64, "K": 64})
+        assert large.operations.arithmetic > 7 * small.operations.arithmetic
+
+    def test_memory_accesses_positive_for_all_kernels(self):
+        for kernel in all_kernels():
+            analysis = analyze_kernel(kernel)
+            assert analysis.operations.memory_accesses > 0
+
+    def test_branchy_kernel_detected(self):
+        analysis = analyze_kernel(get_kernel("pf_find_index"))
+        assert analysis.has_branches
+
+    def test_branch_free_kernel_detected(self):
+        analysis = analyze_kernel(get_kernel("matmul"))
+        assert not analysis.has_branches
+
+    def test_parallel_iterations_with_collapse(self):
+        analysis = analyze_kernel(get_kernel("transpose"), {"N": 100, "M": 50})
+        assert analysis.parallel_iterations_with_collapse(1) == 100
+        assert analysis.parallel_iterations_with_collapse(2) == 100 * 50
+
+    def test_arithmetic_intensity_positive(self):
+        analysis = analyze_kernel(get_kernel("correlation"))
+        assert analysis.arithmetic_intensity > 0
+
+    def test_math_call_counted(self):
+        analysis = analyze_kernel(get_kernel("knn_distance"))
+        assert analysis.operations.math_calls > 0
+
+    def test_cached_analysis_returns_same_object(self):
+        clear_analysis_cache()
+        first = analyze_kernel_cached(get_kernel("matvec"), {"N": 128, "M": 128})
+        second = analyze_kernel_cached(get_kernel("matvec"), {"N": 128, "M": 128})
+        assert first is second
+
+    def test_cached_analysis_distinguishes_sizes(self):
+        clear_analysis_cache()
+        a = analyze_kernel_cached(get_kernel("matvec"), {"N": 128, "M": 128})
+        b = analyze_kernel_cached(get_kernel("matvec"), {"N": 256, "M": 128})
+        assert a is not b
+
+
+class TestCodegen:
+    SOURCE = "void f(int n) {\n  for (int i = 0; i < n; i++) {\n    x += i;\n  }\n}\n"
+
+    def test_find_outer_loop_line(self):
+        assert find_outer_loop_line(self.SOURCE) == 1
+
+    def test_find_outer_loop_missing_raises(self):
+        with pytest.raises(CodegenError):
+            find_outer_loop_line("void f() { return; }")
+
+    def test_insert_pragma_preserves_indentation(self):
+        out = insert_pragma_before_outer_loop(self.SOURCE, "#pragma omp parallel for")
+        lines = out.splitlines()
+        assert lines[1] == "  #pragma omp parallel for"
+        assert lines[2].lstrip().startswith("for")
+
+    def test_inserted_source_still_parses(self):
+        out = insert_pragma_before_outer_loop(self.SOURCE, "#pragma omp parallel for")
+        unit = parse_source(out)
+        assert list(iter_omp_directives(unit))
+
+    def test_strip_pragmas_round_trip(self):
+        with_pragma = insert_pragma_before_outer_loop(self.SOURCE, "#pragma omp parallel for")
+        assert strip_pragmas(with_pragma) == self.SOURCE
+
+    def test_rename_function(self):
+        renamed = rename_function(self.SOURCE, "f", "f_gpu")
+        assert "void f_gpu(" in renamed
+
+    def test_rename_missing_function_raises(self):
+        with pytest.raises(CodegenError):
+            rename_function(self.SOURCE, "not_there", "x")
+
+
+class TestTransformations:
+    def test_six_variant_kinds(self):
+        assert len(ALL_VARIANTS) == 6
+        assert {k.value for k in ALL_VARIANTS} == {
+            "cpu", "cpu_collapse", "gpu", "gpu_collapse", "gpu_mem", "gpu_collapse_mem"}
+
+    def test_kind_properties(self):
+        assert VariantKind.GPU.is_gpu and not VariantKind.CPU.is_gpu
+        assert VariantKind.GPU_COLLAPSE.uses_collapse
+        assert VariantKind.GPU_COLLAPSE_MEM.includes_data_transfer
+        assert not VariantKind.GPU.includes_data_transfer
+
+    def test_cpu_variant_pragma(self):
+        variant = generate_variant(get_kernel("matmul"), VariantKind.CPU)
+        assert variant.pragma == "#pragma omp parallel for"
+        assert variant.collapse == 1
+
+    def test_cpu_collapse_pragma(self):
+        variant = generate_variant(get_kernel("matmul"), VariantKind.CPU_COLLAPSE)
+        assert "collapse(2)" in variant.pragma
+
+    def test_gpu_variant_pragma_without_map(self):
+        variant = generate_variant(get_kernel("matmul"), VariantKind.GPU)
+        assert "target teams distribute parallel for" in variant.pragma
+        assert "map(" not in variant.pragma
+
+    def test_gpu_mem_variant_has_map_clauses(self):
+        variant = generate_variant(get_kernel("matmul"), VariantKind.GPU_MEM,
+                                   {"N": 16, "M": 16, "K": 16})
+        assert "map(to: A[0:256], B[0:256])" in variant.pragma
+        assert "map(from: C[0:256])" in variant.pragma
+
+    def test_gpu_collapse_mem_has_both(self):
+        variant = generate_variant(get_kernel("transpose"), VariantKind.GPU_COLLAPSE_MEM,
+                                   {"N": 8, "M": 8})
+        assert "collapse(2)" in variant.pragma and "map(" in variant.pragma
+
+    def test_variant_source_parses_with_expected_directive(self):
+        variant = generate_variant(get_kernel("laplace_sweep"), VariantKind.GPU_COLLAPSE)
+        unit = parse_source(variant.source)
+        directives = list(iter_omp_directives(unit))
+        assert directives[0].kind == "OMPTargetTeamsDistributeParallelForDirective"
+        assert directives[0].clause_int("collapse") == 2
+
+    def test_collapse_skipped_for_single_loop_kernel(self):
+        variants = generate_all_variants(get_kernel("pf_weight_update"))
+        kinds = {v.kind for v in variants}
+        assert VariantKind.CPU_COLLAPSE not in kinds
+        assert VariantKind.GPU_COLLAPSE not in kinds
+        assert len(variants) == 3  # cpu, gpu, gpu_mem
+
+    def test_collapsible_kernel_gets_all_six(self):
+        variants = generate_all_variants(get_kernel("matmul"))
+        assert len(variants) == 6
+
+    def test_build_pragma_collapse_clamped(self):
+        pragma, collapse = build_pragma(VariantKind.GPU_COLLAPSE, get_kernel("matvec"),
+                                        get_kernel("matvec").sizes_with_defaults())
+        assert collapse == 1
+        assert "collapse" not in pragma
+
+    def test_variant_name_includes_kind(self):
+        variant = generate_variant(get_kernel("matmul"), VariantKind.GPU)
+        assert variant.name.endswith(":gpu")
+
+    @pytest.mark.parametrize("kernel", all_kernels(), ids=lambda k: k.full_name)
+    def test_every_kernel_every_legal_variant_parses(self, kernel):
+        for variant in generate_all_variants(kernel):
+            unit = parse_source(variant.source)
+            assert list(iter_omp_directives(unit)), variant.name
+
+
+class TestAdvisorFacade:
+    def test_recommend_requires_cost_model(self):
+        with pytest.raises(RuntimeError):
+            OpenMPAdvisor().recommend(get_kernel("matmul"))
+
+    def test_recommend_returns_ranking_over_all_variants(self):
+        advisor = OpenMPAdvisor(analytical_cost_model(V100))
+        recommendation = advisor.recommend(
+            get_kernel("matmul"), {"N": 256, "M": 256, "K": 256},
+            num_teams=128, num_threads=128,
+            kinds=[k for k in ALL_VARIANTS if k.is_gpu])
+        assert len(recommendation.predicted_runtimes) == 4
+        ranking = recommendation.ranking()
+        assert ranking[0][1] <= ranking[-1][1]
+        assert recommendation.best_kind.value == ranking[0][0]
+
+    def test_gpu_collapse_beats_gpu_for_large_square_kernel(self):
+        advisor = OpenMPAdvisor(analytical_cost_model(V100))
+        recommendation = advisor.recommend(
+            get_kernel("matmul"), {"N": 512, "M": 512, "K": 512},
+            num_teams=128, num_threads=128,
+            kinds=[VariantKind.GPU, VariantKind.GPU_COLLAPSE])
+        assert recommendation.best_kind is VariantKind.GPU_COLLAPSE
+
+    def test_mem_variant_never_faster_than_resident_variant(self):
+        advisor = OpenMPAdvisor(analytical_cost_model(V100))
+        recommendation = advisor.recommend(
+            get_kernel("transpose"), {"N": 1024, "M": 1024},
+            kinds=[VariantKind.GPU_COLLAPSE, VariantKind.GPU_COLLAPSE_MEM])
+        runtimes = recommendation.predicted_runtimes
+        assert runtimes["gpu_collapse"] <= runtimes["gpu_collapse_mem"]
+
+    def test_analyze_delegates(self):
+        advisor = OpenMPAdvisor()
+        analysis = advisor.analyze(get_kernel("matvec"))
+        assert analysis.kernel_name == "MV/matvec"

@@ -1,0 +1,131 @@
+"""Tests for the COMPOFF baseline: feature extraction and the MLP cost model."""
+
+import numpy as np
+import pytest
+
+from repro.advisor import VariantKind, generate_variant
+from repro.compoff import (
+    COMPOFFConfig,
+    COMPOFFModel,
+    FEATURE_NAMES,
+    FeatureSample,
+    NUM_FEATURES,
+    build_feature_matrix,
+    build_target_vector,
+    extract_features,
+)
+from repro.hardware import RuntimeSimulator, V100
+from repro.kernels import get_kernel
+
+
+def make_samples(n=40, seed=0):
+    """Small synthetic COMPOFF training set from simulated V100 runs."""
+    rng = np.random.default_rng(seed)
+    simulator = RuntimeSimulator(V100)
+    kernel = get_kernel("matmul")
+    samples = []
+    for i in range(n):
+        size = int(rng.choice([32, 64, 128, 256]))
+        sizes = {"N": size, "M": size, "K": size}
+        kind = VariantKind.GPU_COLLAPSE if i % 2 == 0 else VariantKind.GPU_MEM
+        variant = generate_variant(kernel, kind, sizes)
+        teams, threads = int(rng.choice([32, 128])), int(rng.choice([16, 128]))
+        runtime = simulator.measure(variant, sizes, teams, threads, repetition=i)
+        features = extract_features(variant, sizes, teams, threads)
+        samples.append(FeatureSample(features, runtime, {"size": size}))
+    return samples
+
+
+class TestFeatureExtraction:
+    def test_feature_vector_length_matches_names(self):
+        variant = generate_variant(get_kernel("matmul"), VariantKind.GPU)
+        features = extract_features(variant)
+        assert features.shape == (NUM_FEATURES,)
+        assert len(FEATURE_NAMES) == NUM_FEATURES
+
+    def test_gpu_flag_set(self):
+        gpu = extract_features(generate_variant(get_kernel("matmul"), VariantKind.GPU))
+        cpu = extract_features(generate_variant(get_kernel("matmul"), VariantKind.CPU))
+        index = list(FEATURE_NAMES).index("is_gpu")
+        assert gpu[index] == 1.0 and cpu[index] == 0.0
+
+    def test_transfer_bytes_only_for_mem_variants(self):
+        index = list(FEATURE_NAMES).index("log_transfer_bytes")
+        mem = extract_features(generate_variant(get_kernel("matmul"), VariantKind.GPU_MEM))
+        resident = extract_features(generate_variant(get_kernel("matmul"), VariantKind.GPU))
+        assert mem[index] > 0 and resident[index] == 0.0
+
+    def test_collapse_level_feature(self):
+        index = list(FEATURE_NAMES).index("collapse_level")
+        collapsed = extract_features(
+            generate_variant(get_kernel("matmul"), VariantKind.GPU_COLLAPSE))
+        assert collapsed[index] == 2.0
+
+    def test_features_scale_with_problem_size(self):
+        index = list(FEATURE_NAMES).index("log_total_iterations")
+        small = extract_features(generate_variant(get_kernel("matmul"), VariantKind.GPU,
+                                                  {"N": 32, "M": 32, "K": 32}),
+                                 {"N": 32, "M": 32, "K": 32})
+        large = extract_features(generate_variant(get_kernel("matmul"), VariantKind.GPU,
+                                                  {"N": 256, "M": 256, "K": 256}),
+                                 {"N": 256, "M": 256, "K": 256})
+        assert large[index] > small[index]
+
+    def test_teams_threads_features(self):
+        variant = generate_variant(get_kernel("matvec"), VariantKind.GPU)
+        features = extract_features(variant, num_teams=64, num_threads=128)
+        teams_index = list(FEATURE_NAMES).index("log_num_teams")
+        threads_index = list(FEATURE_NAMES).index("log_num_threads")
+        assert features[teams_index] == pytest.approx(np.log1p(64))
+        assert features[threads_index] == pytest.approx(np.log1p(128))
+
+    def test_feature_matrix_and_targets(self):
+        samples = make_samples(5)
+        matrix = build_feature_matrix(samples)
+        targets = build_target_vector(samples)
+        assert matrix.shape == (5, NUM_FEATURES)
+        assert targets.shape == (5,)
+        assert np.all(targets > 0)
+
+    def test_empty_feature_matrix(self):
+        assert build_feature_matrix([]).shape == (0, NUM_FEATURES)
+
+
+class TestCOMPOFFModel:
+    def test_fit_predict_shapes(self):
+        samples = make_samples(30)
+        model = COMPOFFModel(COMPOFFConfig(epochs=30, seed=0))
+        history = model.fit(samples)
+        assert len(history.train_losses) == 30
+        predictions = model.predict(samples[:5])
+        assert predictions.shape == (5,)
+        assert np.all(predictions >= 0)
+
+    def test_training_loss_decreases(self):
+        samples = make_samples(40, seed=1)
+        model = COMPOFFModel(COMPOFFConfig(epochs=60, seed=1))
+        history = model.fit(samples)
+        assert history.train_losses[-1] < history.train_losses[0]
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            COMPOFFModel().predict(make_samples(2))
+
+    def test_fit_empty_raises(self):
+        with pytest.raises(ValueError):
+            COMPOFFModel().fit([])
+
+    def test_predict_empty_returns_empty(self):
+        model = COMPOFFModel(COMPOFFConfig(epochs=5))
+        model.fit(make_samples(10))
+        assert model.predict([]).shape == (0,)
+
+    def test_learns_size_dependence(self):
+        """COMPOFF should at least learn that bigger kernels run longer."""
+        samples = make_samples(60, seed=2)
+        model = COMPOFFModel(COMPOFFConfig(epochs=150, seed=2))
+        model.fit(samples)
+        small = [s for s in samples if s.metadata["size"] == 32][:3]
+        large = [s for s in samples if s.metadata["size"] == 256][:3]
+        if small and large:
+            assert model.predict(large).mean() > model.predict(small).mean()

@@ -1,0 +1,149 @@
+"""Tests for the evaluation drivers (tables/figures) at miniature scale."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation import (
+    ExperimentScale,
+    figure4_series,
+    figure5_series,
+    figure6_series,
+    format_curves,
+    format_series,
+    format_table,
+    run_ablation,
+    run_comparison,
+    run_main_experiment,
+    table1_text,
+    table2_rows,
+    table3_rows,
+)
+from repro.hardware import MI50, V100
+from repro.kernels import get_kernel
+from repro.ml.trainer import TrainingConfig
+from repro.paragraph import GraphVariant
+from repro.pipeline import SweepConfig
+
+#: miniature sweep so the whole module runs in seconds
+TINY_KERNELS = [get_kernel("matmul"), get_kernel("matvec"), get_kernel("pf_normalize"),
+                get_kernel("transpose")]
+TINY_SWEEP = SweepConfig(size_scales=(0.5, 1.0), team_counts=(64,), thread_counts=(8, 64),
+                         kernels=TINY_KERNELS)
+TINY_TRAINING = TrainingConfig(epochs=4, batch_size=16, learning_rate=3e-3, seed=0)
+
+
+@pytest.fixture(scope="module")
+def tiny_result():
+    scale = ExperimentScale(sweep=TINY_SWEEP, epochs=4, hidden_dim=12, seed=0)
+    return run_main_experiment(scale, platforms=(V100,))
+
+
+class TestMainExperimentDrivers:
+    def test_table2_rows(self, tiny_result):
+        rows = table2_rows(tiny_result)
+        assert len(rows) == 1
+        assert rows[0]["data_points"] > 0
+        assert rows[0]["runtime_max_ms"] >= rows[0]["runtime_min_ms"]
+
+    def test_table3_rows(self, tiny_result):
+        rows = table3_rows(tiny_result)
+        assert rows[0]["platform"] == "NVIDIA V100"
+        assert rows[0]["rmse_ms"] > 0
+        assert rows[0]["normalized_rmse"] >= 0
+
+    def test_figure4_series(self, tiny_result):
+        series = figure4_series(tiny_result)
+        assert "NVIDIA V100" in series
+        assert all(v >= 0 for v in series["NVIDIA V100"].values())
+
+    def test_figure5_series_length_matches_epochs(self, tiny_result):
+        series = figure5_series(tiny_result)
+        assert len(series["NVIDIA V100"]) == 4
+
+    def test_figure6_series_groups_by_application(self, tiny_result):
+        series = figure6_series(tiny_result)
+        applications = set(series["NVIDIA V100"])
+        assert applications <= {"MM", "MV", "ParticleFilter", "Transpose"}
+        assert applications
+
+    def test_experiment_scales_exist(self):
+        assert ExperimentScale.small().epochs < ExperimentScale.paper().epochs
+        assert len(ExperimentScale.paper().sweep.size_scales) > \
+            len(ExperimentScale.small().sweep.size_scales)
+
+
+class TestAblationDriver:
+    @pytest.fixture(scope="class")
+    def ablation(self):
+        return run_ablation(sweep=TINY_SWEEP, training=TINY_TRAINING,
+                            platforms=(MI50,), hidden_dim=12, seed=0)
+
+    def test_all_three_variants_present(self, ablation):
+        assert set(ablation.results) == {"raw_ast", "augmented_ast", "paragraph"}
+
+    def test_rmse_table_rows(self, ablation):
+        rows = ablation.rmse_table()
+        assert len(rows) == 1
+        row = rows[0]
+        assert {"platform", "raw_ast", "augmented_ast", "paragraph"} <= set(row)
+        assert all(row[key] > 0 for key in ("raw_ast", "augmented_ast", "paragraph"))
+
+    def test_histories_for_platform(self, ablation):
+        histories = ablation.histories_for(MI50.name)
+        assert set(histories) == {"raw_ast", "augmented_ast", "paragraph"}
+        assert all(len(history) == 4 for history in histories.values())
+
+
+class TestComparisonDriver:
+    @pytest.fixture(scope="class")
+    def comparison(self):
+        from repro.compoff import COMPOFFConfig
+
+        return run_comparison(platform=V100, sweep=TINY_SWEEP, training=TINY_TRAINING,
+                              compoff_config=COMPOFFConfig(epochs=20, seed=0),
+                              hidden_dim=12, seed=0)
+
+    def test_prediction_arrays_aligned(self, comparison):
+        n = comparison.actual_us.shape[0]
+        assert comparison.paragraph_predictions_us.shape == (n,)
+        assert comparison.compoff_predictions_us.shape == (n,)
+        assert n >= 1
+
+    def test_figure8_points_structure(self, comparison):
+        points = comparison.figure8_points()
+        assert set(points) == {"ParaGraph", "COMPOFF"}
+        for series in points.values():
+            assert all(error >= 0 for _, error in series)
+
+    def test_figure9_points_structure(self, comparison):
+        points = comparison.figure9_points()
+        assert len(points["ParaGraph"]) == len(points["COMPOFF"])
+
+    def test_summary_metrics(self, comparison):
+        summary = comparison.summary()
+        assert set(summary) == {"ParaGraph", "COMPOFF"}
+        assert summary["ParaGraph"]["rmse"] > 0
+
+
+class TestReports:
+    def test_format_table_alignment(self):
+        text = format_table([{"a": 1, "b": 2.5}, {"a": 10, "b": 0.125}])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "a" in lines[0] and "b" in lines[0]
+
+    def test_format_table_empty(self):
+        assert format_table([]) == "(empty table)"
+
+    def test_format_series(self):
+        text = format_series({"V100": {"0-10": 0.01, "10-20": 0.02}})
+        assert "[V100]" in text and "0-10" in text
+
+    def test_format_curves_samples_epochs(self):
+        text = format_curves({"ParaGraph": [1.0, 0.9, 0.8, 0.7, 0.6, 0.5]}, every=2)
+        assert "ParaGraph" in text and "0.5000" in text
+
+    def test_table1_text_lists_all_applications(self):
+        text = table1_text()
+        for name in ("Correlation", "Covariance", "ParticleFilter", "Transpose"):
+            assert name in text

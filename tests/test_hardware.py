@@ -1,0 +1,201 @@
+"""Tests for the hardware specs, noise model and runtime simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.advisor import VariantKind, generate_variant
+from repro.hardware import (
+    ALL_PLATFORMS,
+    EPYC7401,
+    MI50,
+    NoiseModel,
+    POWER9,
+    RuntimeSimulator,
+    V100,
+    analytical_cost_model,
+    cpu_platforms,
+    get_platform,
+    gpu_platforms,
+    stable_seed,
+)
+from repro.kernels import get_kernel
+
+
+class TestSpecs:
+    def test_four_platforms(self):
+        assert len(ALL_PLATFORMS) == 4
+
+    def test_two_cpus_two_gpus(self):
+        assert len(cpu_platforms()) == 2 and len(gpu_platforms()) == 2
+
+    def test_platform_names_match_paper(self):
+        names = {p.name for p in ALL_PLATFORMS}
+        assert names == {"IBM POWER9", "NVIDIA V100", "AMD EPYC7401", "AMD MI50"}
+
+    def test_clusters_match_paper(self):
+        assert POWER9.cluster == V100.cluster == "Summit"
+        assert EPYC7401.cluster == MI50.cluster == "Corona"
+
+    def test_core_counts_match_paper(self):
+        assert POWER9.compute_units == 22   # "POWER9 with 22 cores"
+        assert EPYC7401.compute_units == 24  # "EPYC 7401 with 24 cores"
+
+    def test_cpu_noise_larger_than_gpu_noise(self):
+        assert POWER9.noise_sigma > V100.noise_sigma
+        assert EPYC7401.noise_sigma > MI50.noise_sigma
+
+    def test_unit_conversions(self):
+        assert V100.peak_flops_per_us == pytest.approx(V100.peak_gflops * 1e3)
+        assert V100.memory_bytes_per_us == pytest.approx(V100.memory_bandwidth_gbs * 1e3)
+
+    def test_get_platform_by_alias(self):
+        assert get_platform("v100") is V100
+        assert get_platform("mi50") is MI50
+        assert get_platform("IBM POWER9") is POWER9
+
+    def test_get_platform_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_platform("a100")
+
+
+class TestNoiseModel:
+    def test_deterministic_given_seed_parts(self):
+        noise = NoiseModel(0.2)
+        a = noise.apply(1000.0, "kernel", "v100", 1)
+        b = noise.apply(1000.0, "kernel", "v100", 1)
+        assert a == b
+
+    def test_different_configurations_get_different_noise(self):
+        noise = NoiseModel(0.2)
+        assert noise.apply(1000.0, "a") != noise.apply(1000.0, "b")
+
+    def test_zero_sigma_zero_jitter_is_identity(self):
+        noise = NoiseModel(0.0, jitter_us=0.0)
+        assert noise.apply(1234.5, "x") == 1234.5
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            NoiseModel(-0.1)
+
+    def test_negative_runtime_rejected(self):
+        with pytest.raises(ValueError):
+            NoiseModel(0.1).apply(-1.0, "x")
+
+    def test_sample_factors_statistics(self):
+        factors = NoiseModel(0.25).sample_factors(4000, seed=0)
+        assert np.all(factors > 0)
+        assert abs(np.median(factors) - 1.0) < 0.05
+
+    def test_stable_seed_is_stable(self):
+        assert stable_seed("a", 1, (2, 3)) == stable_seed("a", 1, (2, 3))
+        assert stable_seed("a") != stable_seed("b")
+
+    @given(st.floats(min_value=0.01, max_value=1e7, allow_nan=False))
+    @settings(max_examples=40, deadline=None)
+    def test_noise_preserves_positivity(self, runtime):
+        assert NoiseModel(0.3).apply(runtime, "cfg") > 0
+
+
+class TestSimulator:
+    def gpu_variant(self, kind=VariantKind.GPU_COLLAPSE, sizes=None):
+        sizes = sizes or {"N": 256, "M": 256, "K": 256}
+        return generate_variant(get_kernel("matmul"), kind, sizes), sizes
+
+    def test_gpu_variant_rejected_on_cpu_platform(self):
+        variant, sizes = self.gpu_variant()
+        with pytest.raises(ValueError):
+            RuntimeSimulator(POWER9).simulate(variant, sizes)
+
+    def test_cpu_variant_rejected_on_gpu_platform(self):
+        variant = generate_variant(get_kernel("matmul"), VariantKind.CPU)
+        with pytest.raises(ValueError):
+            RuntimeSimulator(V100).simulate(variant)
+
+    def test_simulation_breakdown_fields(self):
+        variant, sizes = self.gpu_variant()
+        result = RuntimeSimulator(V100, noisy=False).simulate(variant, sizes,
+                                                              num_teams=128, num_threads=64)
+        assert result.runtime_us > 0
+        assert result.compute_us > 0 and result.memory_us > 0
+        assert result.overhead_us == V100.launch_overhead_us
+        assert 0 < result.occupancy <= 1.0
+        assert result.noiseless_us == pytest.approx(result.runtime_us)
+
+    def test_noiseless_simulation_is_deterministic(self):
+        variant, sizes = self.gpu_variant()
+        simulator = RuntimeSimulator(V100, noisy=False)
+        assert simulator.measure(variant, sizes) == simulator.measure(variant, sizes)
+
+    def test_noisy_simulation_is_reproducible(self):
+        variant, sizes = self.gpu_variant()
+        a = RuntimeSimulator(V100).measure(variant, sizes, repetition=0)
+        b = RuntimeSimulator(V100).measure(variant, sizes, repetition=0)
+        c = RuntimeSimulator(V100).measure(variant, sizes, repetition=1)
+        assert a == b
+        assert a != c
+
+    def test_runtime_grows_with_problem_size(self):
+        simulator = RuntimeSimulator(V100, noisy=False)
+        small_variant, small = self.gpu_variant(sizes={"N": 64, "M": 64, "K": 64})
+        large_variant, large = self.gpu_variant(sizes={"N": 512, "M": 512, "K": 512})
+        assert simulator.measure(large_variant, large) > simulator.measure(small_variant, small)
+
+    def test_mem_variant_slower_than_resident_variant(self):
+        simulator = RuntimeSimulator(V100, noisy=False)
+        resident, sizes = self.gpu_variant(VariantKind.GPU_COLLAPSE)
+        with_mem, _ = self.gpu_variant(VariantKind.GPU_COLLAPSE_MEM)
+        assert simulator.measure(with_mem, sizes) > simulator.measure(resident, sizes)
+
+    def test_transfer_time_zero_for_resident_variant(self):
+        variant, sizes = self.gpu_variant(VariantKind.GPU)
+        result = RuntimeSimulator(V100, noisy=False).simulate(variant, sizes)
+        assert result.transfer_us == 0.0
+
+    def test_collapse_improves_occupancy_for_nested_kernel(self):
+        simulator = RuntimeSimulator(V100, noisy=False)
+        flat, sizes = self.gpu_variant(VariantKind.GPU, {"N": 512, "M": 512, "K": 512})
+        collapsed, _ = self.gpu_variant(VariantKind.GPU_COLLAPSE, {"N": 512, "M": 512, "K": 512})
+        occ_flat = simulator.simulate(flat, sizes, num_teams=128, num_threads=128).occupancy
+        occ_collapsed = simulator.simulate(collapsed, sizes, num_teams=128, num_threads=128).occupancy
+        assert occ_collapsed > occ_flat
+
+    def test_more_cpu_threads_is_faster(self):
+        variant = generate_variant(get_kernel("correlation"), VariantKind.CPU,
+                                   {"N": 512, "M": 128})
+        simulator = RuntimeSimulator(EPYC7401, noisy=False)
+        slow = simulator.measure(variant, {"N": 512, "M": 128}, num_threads=1)
+        fast = simulator.measure(variant, {"N": 512, "M": 128}, num_threads=24)
+        assert fast < slow
+
+    def test_gpu_wins_large_parallel_kernel_cpu_wins_tiny_kernel(self):
+        """The crossover behaviour the dataset must expose to the GNN."""
+        sizes_large = {"N": 1024, "M": 1024, "K": 1024}
+        sizes_tiny = {"N": 8, "M": 8, "K": 8}
+        cpu_sim = RuntimeSimulator(POWER9, noisy=False)
+        gpu_sim = RuntimeSimulator(V100, noisy=False)
+        cpu_variant = generate_variant(get_kernel("matmul"), VariantKind.CPU_COLLAPSE)
+        gpu_variant = generate_variant(get_kernel("matmul"), VariantKind.GPU_COLLAPSE)
+        # large kernel: GPU should be clearly faster
+        assert gpu_sim.measure(gpu_variant, sizes_large, num_teams=256, num_threads=256) < \
+            cpu_sim.measure(cpu_variant, sizes_large, num_threads=22)
+        # tiny kernel: CPU avoids the launch overhead and wins
+        assert cpu_sim.measure(cpu_variant, sizes_tiny, num_threads=22) < \
+            gpu_sim.measure(gpu_variant, sizes_tiny, num_teams=256, num_threads=256)
+
+    def test_cost_model_callable_signature(self):
+        cost = analytical_cost_model(MI50)
+        variant, sizes = self.gpu_variant()
+        value = cost(variant, sizes, 128, 64)
+        assert value > 0
+
+    @pytest.mark.parametrize("platform", ALL_PLATFORMS, ids=lambda p: p.name)
+    def test_every_platform_simulates_every_compatible_kernel(self, platform):
+        from repro.kernels import all_kernels
+
+        simulator = RuntimeSimulator(platform, noisy=False)
+        kind = VariantKind.GPU if platform.is_gpu else VariantKind.CPU
+        for kernel in all_kernels()[:6]:
+            variant = generate_variant(kernel, kind)
+            assert simulator.measure(variant) > 0

@@ -1,0 +1,124 @@
+"""Tests for the benchmark kernel registry (Table I) and kernel metadata."""
+
+import pytest
+
+from repro.clang import analyze
+from repro.clang.ast_nodes import FunctionDecl
+from repro.clang.traversal import iter_for_loops
+from repro.kernels import (
+    APPLICATIONS,
+    ArraySpec,
+    KernelDefinition,
+    all_applications,
+    all_kernels,
+    get_application,
+    get_kernel,
+    table1_rows,
+)
+
+
+class TestTable1Structure:
+    def test_nine_applications(self):
+        assert len(all_applications()) == 9
+
+    def test_seventeen_kernels(self):
+        assert len(all_kernels()) == 17
+
+    def test_table1_kernel_counts_match_paper(self):
+        counts = {row["application"]: row["num_kernels"] for row in table1_rows()}
+        assert counts == {
+            "Correlation": 1, "Covariance": 2, "Gauss": 1, "NN": 1,
+            "Laplace": 2, "MM": 1, "MV": 1, "Transpose": 1, "ParticleFilter": 7,
+        }
+
+    def test_domains_match_paper(self):
+        domains = {row["application"]: row["domain"] for row in table1_rows()}
+        assert domains["Correlation"] == "Statistics"
+        assert domains["Covariance"] == "Probability Theory"
+        assert domains["NN"] == "Data Mining"
+        assert domains["Laplace"] == "Numerical Analysis"
+        assert domains["ParticleFilter"] == "Medical Imaging"
+
+    def test_unique_full_names(self):
+        names = [k.full_name for k in all_kernels()]
+        assert len(names) == len(set(names))
+
+
+class TestKernelDefinitions:
+    @pytest.mark.parametrize("kernel", all_kernels(), ids=lambda k: k.full_name)
+    def test_source_parses_into_function(self, kernel):
+        function = kernel.function()
+        assert isinstance(function, FunctionDecl)
+        assert function.body is not None
+
+    @pytest.mark.parametrize("kernel", all_kernels(), ids=lambda k: k.full_name)
+    def test_kernel_has_at_least_one_loop(self, kernel):
+        function = kernel.function()
+        assert list(iter_for_loops(function))
+
+    @pytest.mark.parametrize("kernel", all_kernels(), ids=lambda k: k.full_name)
+    def test_default_sizes_cover_parameters(self, kernel):
+        sizes = kernel.sizes_with_defaults()
+        for parameter in kernel.size_parameters:
+            assert parameter in sizes and sizes[parameter] > 0
+
+    @pytest.mark.parametrize("kernel", all_kernels(), ids=lambda k: k.full_name)
+    def test_array_sizes_evaluate(self, kernel):
+        sizes = kernel.sizes_with_defaults()
+        for array in kernel.arrays:
+            assert array.num_elements(sizes) > 0
+            assert array.num_bytes(sizes) == array.num_elements(sizes) * array.element_size
+
+    @pytest.mark.parametrize("kernel", all_kernels(), ids=lambda k: k.full_name)
+    def test_collapsible_depth_is_legal(self, kernel):
+        from repro.clang.traversal import perfectly_nested_for_loops
+
+        function = analyze(kernel.function())
+        outer = next(iter_for_loops(function))
+        assert kernel.collapsible_loops <= max(len(perfectly_nested_for_loops(outer)), 1)
+
+    def test_transfer_bytes_scale_with_sizes(self):
+        kernel = get_kernel("matmul")
+        small = kernel.transfer_bytes({"N": 64, "M": 64, "K": 64})
+        large = kernel.transfer_bytes({"N": 128, "M": 128, "K": 128})
+        assert large == 4 * small
+
+    def test_environment_binds_sizes(self):
+        kernel = get_kernel("matvec")
+        env = kernel.environment({"N": 100, "M": 10})
+        assert env.get("N") == 100 and env.get("M") == 10
+
+    def test_sizes_missing_parameter_raises(self):
+        kernel = KernelDefinition(
+            application="X", kernel_name="x", domain="d",
+            source="void x(int N) { for (int i = 0; i < N; i++) {} }",
+            size_parameters=("N",), arrays=(), default_sizes={})
+        with pytest.raises(ValueError):
+            kernel.sizes_with_defaults()
+
+    def test_invalid_array_size_expression_raises(self):
+        spec = ArraySpec("a", 8, "N*UNKNOWN")
+        with pytest.raises(ValueError):
+            spec.num_elements({"N": 4})
+
+
+class TestRegistryLookup:
+    def test_get_application_case_insensitive(self):
+        assert get_application("particlefilter").name == "ParticleFilter"
+
+    def test_get_application_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_application("does-not-exist")
+
+    def test_get_kernel_by_name(self):
+        assert get_kernel("matmul").application == "MM"
+
+    def test_get_kernel_by_full_name(self):
+        assert get_kernel("Covariance/covariance_mean").kernel_name == "covariance_mean"
+
+    def test_get_kernel_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_kernel("nonexistent_kernel")
+
+    def test_applications_tuple_matches_function(self):
+        assert list(APPLICATIONS) == all_applications()

@@ -1,0 +1,331 @@
+"""Tests for scalers, metrics, dataset handling, splitting and the trainer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clang import analyze, parse_snippet
+from repro.gnn import ParaGraphModel
+from repro.ml import (
+    GraphDataset,
+    LogMinMaxScaler,
+    MinMaxScaler,
+    StandardScaler,
+    Trainer,
+    TrainingConfig,
+    binned_relative_error,
+    group_split,
+    k_fold_indices,
+    mean_relative_error,
+    normalized_rmse,
+    pearson_correlation,
+    per_group_relative_error,
+    r2_score,
+    regression_report,
+    relative_error,
+    rmse,
+    runtime_range,
+    train_val_split,
+)
+from repro.paragraph import GraphEncoder, build_paragraph
+
+finite_arrays = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False),
+    min_size=2, max_size=40)
+
+
+class TestScalers:
+    def test_minmax_maps_to_unit_interval(self):
+        scaler = MinMaxScaler()
+        data = np.array([[1.0], [5.0], [9.0]])
+        scaled = scaler.fit_transform(data)
+        assert scaled.min() == 0.0 and scaled.max() == 1.0
+
+    def test_minmax_inverse_round_trip(self):
+        scaler = MinMaxScaler()
+        data = np.random.default_rng(0).normal(size=(20, 3)) * 100
+        scaled = scaler.fit_transform(data)
+        np.testing.assert_allclose(scaler.inverse_transform(scaled), data, atol=1e-9)
+
+    def test_minmax_constant_column(self):
+        scaler = MinMaxScaler()
+        data = np.array([[5.0], [5.0], [5.0]])
+        scaled = scaler.fit_transform(data)
+        assert np.all(np.isfinite(scaled))
+
+    def test_minmax_custom_range(self):
+        scaler = MinMaxScaler(feature_range=(-1.0, 1.0))
+        scaled = scaler.fit_transform(np.array([0.0, 10.0]))
+        assert scaled.tolist() == [-1.0, 1.0]
+
+    def test_minmax_invalid_range_raises(self):
+        with pytest.raises(ValueError):
+            MinMaxScaler(feature_range=(1.0, 0.0))
+
+    def test_unfitted_scaler_raises(self):
+        with pytest.raises(RuntimeError):
+            MinMaxScaler().transform(np.array([1.0]))
+
+    def test_fit_empty_raises(self):
+        with pytest.raises(ValueError):
+            MinMaxScaler().fit(np.zeros((0, 2)))
+
+    def test_standard_scaler_zero_mean_unit_std(self):
+        scaler = StandardScaler()
+        data = np.random.default_rng(1).normal(5.0, 3.0, size=(200, 2))
+        scaled = scaler.fit_transform(data)
+        np.testing.assert_allclose(scaled.mean(axis=0), 0.0, atol=1e-9)
+        np.testing.assert_allclose(scaled.std(axis=0), 1.0, atol=1e-9)
+
+    def test_standard_scaler_round_trip(self):
+        scaler = StandardScaler()
+        data = np.random.default_rng(2).normal(size=(30, 4))
+        np.testing.assert_allclose(
+            scaler.inverse_transform(scaler.fit_transform(data)), data, atol=1e-9)
+
+    def test_log_scaler_rejects_negative(self):
+        with pytest.raises(ValueError):
+            LogMinMaxScaler().fit(np.array([-1.0, 2.0]))
+
+    def test_log_scaler_round_trip(self):
+        scaler = LogMinMaxScaler()
+        data = np.array([1.0, 100.0, 1e6, 0.5])
+        scaled = scaler.fit_transform(data)
+        assert scaled.min() >= 0.0 and scaled.max() <= 1.0
+        np.testing.assert_allclose(scaler.inverse_transform(scaled), data, rtol=1e-9)
+
+    def test_1d_shape_preserved(self):
+        scaler = MinMaxScaler()
+        out = scaler.fit_transform(np.array([1.0, 2.0, 3.0]))
+        assert out.shape == (3,)
+
+    @given(finite_arrays)
+    @settings(max_examples=40, deadline=None)
+    def test_minmax_output_in_range_property(self, values):
+        data = np.array(values)
+        scaled = MinMaxScaler().fit_transform(data)
+        assert np.all(scaled >= -1e-12) and np.all(scaled <= 1.0 + 1e-12)
+
+    @given(finite_arrays)
+    @settings(max_examples=40, deadline=None)
+    def test_standard_round_trip_property(self, values):
+        data = np.array(values)
+        scaler = StandardScaler()
+        recovered = scaler.inverse_transform(scaler.fit_transform(data))
+        np.testing.assert_allclose(recovered, data, atol=1e-6, rtol=1e-6)
+
+
+class TestMetrics:
+    def test_rmse_zero_for_perfect_prediction(self):
+        assert rmse([1.0, 2.0], [1.0, 2.0]) == 0.0
+
+    def test_rmse_known_value(self):
+        assert rmse([0.0, 0.0], [3.0, 4.0]) == pytest.approx(np.sqrt(12.5))
+
+    def test_rmse_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            rmse([1.0], [1.0, 2.0])
+
+    def test_rmse_empty_raises(self):
+        with pytest.raises(ValueError):
+            rmse([], [])
+
+    def test_normalized_rmse_definition(self):
+        actual = [0.0, 100.0]
+        predicted = [10.0, 90.0]
+        assert normalized_rmse(actual, predicted) == pytest.approx(rmse(actual, predicted) / 100.0)
+
+    def test_runtime_range_degenerate(self):
+        assert runtime_range([5.0, 5.0]) == 1.0
+
+    def test_relative_error_per_sample(self):
+        errors = relative_error([0.0, 100.0], [10.0, 100.0])
+        np.testing.assert_allclose(errors, [0.1, 0.0])
+
+    def test_mean_relative_error(self):
+        assert mean_relative_error([0.0, 100.0], [10.0, 100.0]) == pytest.approx(0.05)
+
+    def test_binned_relative_error_labels(self):
+        actual_us = np.array([5e6, 15e6, 205e6])      # 5 s, 15 s, 205 s
+        predicted = actual_us * 1.01
+        bins = binned_relative_error(actual_us, predicted)
+        assert "0-10" in bins and "10-20" in bins and "100 <" in bins
+
+    def test_binned_relative_error_empty_bins_omitted(self):
+        bins = binned_relative_error([1e6], [1e6])
+        assert list(bins) == ["0-10"]
+
+    def test_per_group_relative_error(self):
+        groups = ["MM", "MM", "NN"]
+        result = per_group_relative_error([1.0, 2.0, 3.0], [1.0, 2.0, 2.0], groups)
+        assert set(result) == {"MM", "NN"}
+        assert result["MM"] == pytest.approx(0.0)
+
+    def test_per_group_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            per_group_relative_error([1.0], [1.0], ["a", "b"])
+
+    def test_pearson_perfect_correlation(self):
+        assert pearson_correlation([1.0, 2.0, 3.0], [2.0, 4.0, 6.0]) == pytest.approx(1.0)
+
+    def test_pearson_constant_input(self):
+        assert pearson_correlation([1.0, 1.0], [1.0, 2.0]) == 0.0
+
+    def test_r2_perfect(self):
+        assert r2_score([1.0, 2.0, 3.0], [1.0, 2.0, 3.0]) == pytest.approx(1.0)
+
+    def test_regression_report_keys(self):
+        report = regression_report([1.0, 2.0, 4.0], [1.1, 2.2, 3.6])
+        assert set(report) == {"rmse", "normalized_rmse", "mae",
+                               "mean_relative_error", "pearson", "r2"}
+
+    @given(finite_arrays)
+    @settings(max_examples=40, deadline=None)
+    def test_rmse_non_negative_and_zero_iff_equal(self, values):
+        actual = np.array(values)
+        assert rmse(actual, actual) == 0.0
+        shifted = actual + 1.0
+        assert rmse(actual, shifted) > 0.0
+
+
+def make_dataset(n=12, seed=0):
+    rng = np.random.default_rng(seed)
+    encoder = GraphEncoder()
+    samples = []
+    for i in range(n):
+        bound = int(rng.integers(4, 64))
+        graph = build_paragraph(analyze(parse_snippet(
+            f"for (int i = 0; i < {bound}; i++) {{ a[i] = i * 2.0; }}")))
+        samples.append(encoder.encode(
+            graph, num_teams=int(rng.integers(1, 8)), num_threads=int(rng.integers(1, 32)),
+            target=float(bound) * 100.0,
+            metadata={"application": "MM" if i % 2 == 0 else "NN"}))
+    return encoder, GraphDataset(samples, name="test")
+
+
+class TestDatasetAndSplit:
+    def test_len_and_iteration(self):
+        _, dataset = make_dataset(5)
+        assert len(dataset) == 5
+        assert len(list(dataset)) == 5
+
+    def test_targets_array(self):
+        _, dataset = make_dataset(4)
+        assert dataset.targets().shape == (4,)
+
+    def test_metadata_column(self):
+        _, dataset = make_dataset(4)
+        assert set(dataset.metadata_column("application")) == {"MM", "NN"}
+
+    def test_filter(self):
+        _, dataset = make_dataset(6)
+        mm_only = dataset.filter(lambda s: s.metadata["application"] == "MM")
+        assert len(mm_only) == 3
+
+    def test_statistics_keys(self):
+        _, dataset = make_dataset(4)
+        stats = dataset.statistics()
+        assert set(stats) == {"count", "min", "max", "std", "mean"}
+        assert stats["count"] == 4
+
+    def test_batches_cover_all_samples(self):
+        _, dataset = make_dataset(10)
+        total = sum(batch.num_graphs for batch in dataset.batches(3))
+        assert total == 10
+
+    def test_batches_invalid_size(self):
+        _, dataset = make_dataset(3)
+        with pytest.raises(ValueError):
+            list(dataset.batches(0))
+
+    def test_slicing_returns_dataset(self):
+        _, dataset = make_dataset(6)
+        assert isinstance(dataset[:3], GraphDataset)
+        assert len(dataset[:3]) == 3
+
+    def test_train_val_split_ratio(self):
+        _, dataset = make_dataset(20)
+        train, val = train_val_split(dataset, 0.9, seed=0)
+        assert len(train) == 18 and len(val) == 2
+
+    def test_split_is_deterministic_per_seed(self):
+        _, dataset = make_dataset(20)
+        first = train_val_split(dataset, 0.8, seed=3)
+        second = train_val_split(dataset, 0.8, seed=3)
+        assert [s.name for s in first[0]] == [s.name for s in second[0]]
+
+    def test_split_partitions_without_overlap(self):
+        _, dataset = make_dataset(15)
+        train, val = train_val_split(dataset, 0.8, seed=1)
+        train_ids = {id(s) for s in train}
+        val_ids = {id(s) for s in val}
+        assert not train_ids & val_ids
+        assert len(train_ids | val_ids) == 15
+
+    def test_split_invalid_fraction(self):
+        _, dataset = make_dataset(4)
+        with pytest.raises(ValueError):
+            train_val_split(dataset, 1.5)
+
+    def test_split_too_few_samples(self):
+        _, dataset = make_dataset(1)
+        with pytest.raises(ValueError):
+            train_val_split(dataset)
+
+    def test_k_fold_indices_cover_everything(self):
+        folds = k_fold_indices(17, 4, seed=0)
+        combined = np.sort(np.concatenate(folds))
+        np.testing.assert_array_equal(combined, np.arange(17))
+
+    def test_group_split_holds_out_whole_group(self):
+        _, dataset = make_dataset(8)
+        train, val = group_split(dataset, "application", ["NN"])
+        assert all(s.metadata["application"] == "MM" for s in train)
+        assert all(s.metadata["application"] == "NN" for s in val)
+
+
+class TestTrainer:
+    def test_training_history_and_improvement(self):
+        encoder, dataset = make_dataset(24, seed=1)
+        train, val = train_val_split(dataset, 0.8, seed=0)
+        model = ParaGraphModel(encoder.feature_dim, hidden_dim=8, head_dims=(8, 4), seed=0)
+        trainer = Trainer(model, TrainingConfig(epochs=12, batch_size=8,
+                                                learning_rate=5e-3, seed=0))
+        history = trainer.fit(train, val)
+        assert len(history) == 12
+        assert history.val_rmses[-1] <= history.val_rmses[0] * 1.5
+        assert np.isfinite(history.best_val_rmse)
+
+    def test_predict_before_fit_raises(self):
+        encoder, dataset = make_dataset(4)
+        model = ParaGraphModel(encoder.feature_dim, hidden_dim=8)
+        with pytest.raises(RuntimeError):
+            Trainer(model).predict(dataset)
+
+    def test_predictions_in_original_units(self):
+        encoder, dataset = make_dataset(20, seed=2)
+        train, val = train_val_split(dataset, 0.8, seed=0)
+        model = ParaGraphModel(encoder.feature_dim, hidden_dim=8, seed=0)
+        trainer = Trainer(model, TrainingConfig(epochs=8, batch_size=8, seed=0))
+        trainer.fit(train, val)
+        predictions = trainer.predict(val)
+        assert predictions.shape == (len(val),)
+        # microsecond-scale targets: predictions should be in a sane range
+        assert np.all(predictions >= 0)
+        assert predictions.max() < dataset.targets().max() * 100
+
+    def test_empty_training_set_raises(self):
+        encoder, _ = make_dataset(2)
+        model = ParaGraphModel(encoder.feature_dim, hidden_dim=8)
+        with pytest.raises(ValueError):
+            Trainer(model).fit(GraphDataset([]))
+
+    def test_early_stopping_truncates_history(self):
+        encoder, dataset = make_dataset(16, seed=3)
+        train, val = train_val_split(dataset, 0.8, seed=0)
+        model = ParaGraphModel(encoder.feature_dim, hidden_dim=8, seed=0)
+        trainer = Trainer(model, TrainingConfig(epochs=50, batch_size=8, seed=0,
+                                                early_stopping_patience=2))
+        history = trainer.fit(train, val)
+        assert len(history) <= 50

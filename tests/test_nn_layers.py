@@ -1,0 +1,198 @@
+"""Tests for Module bookkeeping, layers, losses and optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    MLP,
+    Adam,
+    Dropout,
+    Embedding,
+    HuberLoss,
+    Linear,
+    MAELoss,
+    MSELoss,
+    Module,
+    Parameter,
+    ReLU,
+    SGD,
+    Sequential,
+    Tensor,
+)
+
+
+class TestModule:
+    def test_parameters_collected_recursively(self):
+        model = Sequential(Linear(4, 8), ReLU(), Linear(8, 2))
+        names = [name for name, _ in model.named_parameters()]
+        assert len(names) == 4  # two weights + two biases
+        assert any("layer0" in name for name in names)
+
+    def test_num_parameters(self):
+        layer = Linear(4, 8)
+        assert layer.num_parameters() == 4 * 8 + 8
+
+    def test_zero_grad_clears(self):
+        layer = Linear(3, 3)
+        out = layer(Tensor(np.ones((2, 3)))).sum()
+        out.backward()
+        assert layer.weight.grad is not None
+        layer.zero_grad()
+        assert layer.weight.grad is None
+
+    def test_train_eval_propagates(self):
+        model = Sequential(Dropout(0.5), Linear(2, 2))
+        model.eval()
+        assert not model.layers[0].training
+        model.train()
+        assert model.layers[0].training
+
+    def test_state_dict_round_trip(self):
+        a = Linear(3, 2, rng=np.random.default_rng(0))
+        b = Linear(3, 2, rng=np.random.default_rng(1))
+        assert not np.allclose(a.weight.data, b.weight.data)
+        b.load_state_dict(a.state_dict())
+        np.testing.assert_allclose(a.weight.data, b.weight.data)
+
+    def test_load_state_dict_shape_mismatch_raises(self):
+        a = Linear(3, 2)
+        state = a.state_dict()
+        state["weight"] = np.zeros((5, 5))
+        with pytest.raises(ValueError):
+            a.load_state_dict(state)
+
+    def test_load_state_dict_missing_key_raises(self):
+        a = Linear(3, 2)
+        with pytest.raises(KeyError):
+            a.load_state_dict({"weight": np.zeros((3, 2))})
+
+
+class TestLayers:
+    def test_linear_output_shape(self):
+        layer = Linear(5, 7)
+        assert layer(Tensor(np.ones((3, 5)))).shape == (3, 7)
+
+    def test_linear_without_bias(self):
+        layer = Linear(5, 7, bias=False)
+        assert layer.bias is None
+        assert layer(Tensor(np.zeros((2, 5)))).data.sum() == 0.0
+
+    def test_linear_matches_manual_affine(self):
+        layer = Linear(3, 2, rng=np.random.default_rng(0))
+        x = np.random.default_rng(1).normal(size=(4, 3))
+        expected = x @ layer.weight.data + layer.bias.data
+        np.testing.assert_allclose(layer(Tensor(x)).data, expected)
+
+    def test_mlp_structure_and_shape(self):
+        mlp = MLP(6, (16, 8), 1, rng=np.random.default_rng(0))
+        out = mlp(Tensor(np.ones((5, 6))))
+        assert out.shape == (5, 1)
+
+    def test_dropout_invalid_probability(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+    def test_dropout_eval_identity(self):
+        layer = Dropout(0.9)
+        layer.eval()
+        x = Tensor(np.ones(50))
+        np.testing.assert_allclose(layer(x).data, 1.0)
+
+    def test_embedding_lookup(self):
+        table = Embedding(10, 4, rng=np.random.default_rng(0))
+        out = table(np.array([1, 1, 3]))
+        assert out.shape == (3, 4)
+        np.testing.assert_allclose(out.data[0], out.data[1])
+
+    def test_embedding_out_of_range_raises(self):
+        table = Embedding(5, 2)
+        with pytest.raises(IndexError):
+            table(np.array([7]))
+
+    def test_sequential_applies_in_order(self):
+        model = Sequential(Linear(2, 2, rng=np.random.default_rng(0)), ReLU())
+        out = model(Tensor(np.array([[-10.0, -10.0]])))
+        assert np.all(out.data >= 0)
+
+
+class TestLosses:
+    def test_mse_value(self):
+        loss = MSELoss()(Tensor([1.0, 2.0]), Tensor([3.0, 2.0]))
+        assert loss.item() == pytest.approx(2.0)
+
+    def test_mae_value(self):
+        loss = MAELoss()(Tensor([1.0, 2.0]), Tensor([3.0, 2.0]))
+        assert loss.item() == pytest.approx(1.0)
+
+    def test_huber_below_delta_matches_half_mse(self):
+        p, t = Tensor([0.5]), Tensor([0.0])
+        assert HuberLoss(delta=1.0)(p, t).item() == pytest.approx(0.125)
+
+    def test_losses_are_non_negative(self):
+        rng = np.random.default_rng(0)
+        p, t = Tensor(rng.normal(size=20)), Tensor(rng.normal(size=20))
+        for loss_fn in (MSELoss(), MAELoss(), HuberLoss()):
+            assert loss_fn(p, t).item() >= 0
+
+
+class TestOptimizers:
+    def _quadratic_problem(self):
+        target = np.array([3.0, -2.0, 0.5])
+        weight = Parameter(np.zeros(3))
+        return weight, target
+
+    def test_sgd_converges_on_quadratic(self):
+        weight, target = self._quadratic_problem()
+        optimizer = SGD([weight], lr=0.1)
+        for _ in range(200):
+            optimizer.zero_grad()
+            loss = ((weight - Tensor(target)) ** 2.0).sum()
+            loss.backward()
+            optimizer.step()
+        np.testing.assert_allclose(weight.data, target, atol=1e-3)
+
+    def test_sgd_momentum_converges(self):
+        weight, target = self._quadratic_problem()
+        optimizer = SGD([weight], lr=0.05, momentum=0.9)
+        for _ in range(200):
+            optimizer.zero_grad()
+            ((weight - Tensor(target)) ** 2.0).sum().backward()
+            optimizer.step()
+        np.testing.assert_allclose(weight.data, target, atol=1e-2)
+
+    def test_adam_converges_on_quadratic(self):
+        weight, target = self._quadratic_problem()
+        optimizer = Adam([weight], lr=0.05)
+        for _ in range(400):
+            optimizer.zero_grad()
+            ((weight - Tensor(target)) ** 2.0).sum().backward()
+            optimizer.step()
+        np.testing.assert_allclose(weight.data, target, atol=1e-2)
+
+    def test_weight_decay_shrinks_parameters(self):
+        weight = Parameter(np.ones(4) * 10.0)
+        optimizer = SGD([weight], lr=0.1, weight_decay=0.5)
+        for _ in range(50):
+            optimizer.zero_grad()
+            (weight * 0.0).sum().backward()
+            optimizer.step()
+        assert np.all(np.abs(weight.data) < 10.0)
+
+    def test_empty_parameter_list_raises(self):
+        with pytest.raises(ValueError):
+            Adam([])
+
+    def test_mlp_fits_linear_function(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(64, 3))
+        y = x @ np.array([1.0, -2.0, 0.5]) + 0.3
+        model = MLP(3, (16,), 1, rng=rng)
+        optimizer = Adam(model.parameters(), lr=1e-2)
+        loss_fn = MSELoss()
+        for _ in range(300):
+            optimizer.zero_grad()
+            prediction = model(Tensor(x)).reshape(-1)
+            loss = loss_fn(prediction, Tensor(y))
+            loss.backward()
+            optimizer.step()
+        assert loss.item() < 0.01

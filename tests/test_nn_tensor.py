@@ -1,0 +1,281 @@
+"""Tests for the autograd engine: forward values and gradient correctness.
+
+Gradient correctness is checked against central finite differences on random
+inputs — the standard way to validate a hand-written backward pass.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor, concatenate, ones, stack, zeros
+
+
+def numeric_gradient(fn, x, eps=1e-6):
+    """Central finite-difference gradient of scalar fn wrt array x."""
+    grad = np.zeros_like(x)
+    flat = x.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        upper = fn(x)
+        flat[i] = original - eps
+        lower = fn(x)
+        flat[i] = original
+        grad_flat[i] = (upper - lower) / (2 * eps)
+    return grad
+
+
+def check_gradient(build_loss, shape, seed=0, atol=1e-5):
+    """Compare autograd gradient to the finite-difference gradient."""
+    rng = np.random.default_rng(seed)
+    data = rng.normal(size=shape)
+    tensor = Tensor(data.copy(), requires_grad=True)
+    loss = build_loss(tensor)
+    loss.backward()
+    numeric = numeric_gradient(lambda x: build_loss(Tensor(x)).item(), data.copy())
+    assert tensor.grad is not None
+    np.testing.assert_allclose(tensor.grad, numeric, atol=atol, rtol=1e-4)
+
+
+class TestForwardValues:
+    def test_addition_broadcasting(self):
+        a = Tensor(np.ones((2, 3)))
+        b = Tensor(np.array([1.0, 2.0, 3.0]))
+        assert (a + b).data.tolist() == [[2, 3, 4], [2, 3, 4]]
+
+    def test_scalar_operations(self):
+        t = Tensor([1.0, 2.0])
+        assert ((t * 2 + 1) / 2).data.tolist() == [1.5, 2.5]
+
+    def test_matmul(self):
+        a = Tensor(np.arange(6).reshape(2, 3))
+        b = Tensor(np.arange(12).reshape(3, 4))
+        np.testing.assert_allclose((a @ b).data, a.data @ b.data)
+
+    def test_relu_clamps_negative(self):
+        assert Tensor([-1.0, 2.0]).relu().data.tolist() == [0.0, 2.0]
+
+    def test_sigmoid_range(self):
+        values = Tensor(np.linspace(-10, 10, 21)).sigmoid().data
+        assert np.all(values > 0) and np.all(values < 1)
+
+    def test_sum_and_mean(self):
+        t = Tensor(np.arange(6, dtype=float).reshape(2, 3))
+        assert t.sum().item() == 15.0
+        assert t.mean().item() == pytest.approx(2.5)
+
+    def test_sum_axis_keepdims(self):
+        t = Tensor(np.ones((2, 3)))
+        assert t.sum(axis=0).shape == (3,)
+        assert t.sum(axis=0, keepdims=True).shape == (1, 3)
+
+    def test_max_reduction(self):
+        t = Tensor([[1.0, 5.0], [3.0, 2.0]])
+        assert t.max().item() == 5.0
+        assert t.max(axis=1).data.tolist() == [5.0, 3.0]
+
+    def test_reshape_and_transpose(self):
+        t = Tensor(np.arange(6, dtype=float))
+        assert t.reshape(2, 3).shape == (2, 3)
+        assert t.reshape(2, 3).T.shape == (3, 2)
+
+    def test_getitem(self):
+        t = Tensor(np.arange(10, dtype=float))
+        assert t[2:5].data.tolist() == [2.0, 3.0, 4.0]
+
+    def test_index_select(self):
+        t = Tensor(np.arange(12, dtype=float).reshape(4, 3))
+        picked = t.index_select(np.array([2, 0, 2]))
+        assert picked.shape == (3, 3)
+        assert picked.data[0].tolist() == [6.0, 7.0, 8.0]
+
+    def test_scatter_add_forward(self):
+        t = Tensor(np.ones((4, 2)))
+        out = t.scatter_add(np.array([0, 1, 0, 1]), 2)
+        assert out.data.tolist() == [[2.0, 2.0], [2.0, 2.0]]
+
+    def test_concatenate_and_stack(self):
+        a, b = Tensor(np.ones((2, 2))), Tensor(np.zeros((2, 2)))
+        assert concatenate([a, b], axis=0).shape == (4, 2)
+        assert stack([a, b], axis=0).shape == (2, 2, 2)
+
+    def test_zeros_ones_helpers(self):
+        assert zeros((2, 2)).data.sum() == 0
+        assert ones((2, 2)).data.sum() == 4
+
+    def test_detach_stops_gradients(self):
+        t = Tensor([1.0, 2.0], requires_grad=True)
+        d = t.detach()
+        assert not d.requires_grad
+
+    def test_clip(self):
+        t = Tensor([-2.0, 0.5, 3.0])
+        assert t.clip(0.0, 1.0).data.tolist() == [0.0, 0.5, 1.0]
+
+
+class TestGradients:
+    def test_add_mul_chain(self):
+        check_gradient(lambda x: ((x * 3.0 + 2.0) * x).sum(), (4, 3))
+
+    def test_matmul_left(self):
+        rng = np.random.default_rng(1)
+        w = rng.normal(size=(3, 5))
+        check_gradient(lambda x: (x @ Tensor(w)).sum(), (4, 3))
+
+    def test_matmul_right(self):
+        rng = np.random.default_rng(2)
+        a = rng.normal(size=(4, 3))
+        check_gradient(lambda x: (Tensor(a) @ x).pow(2.0).sum(), (3, 5))
+
+    def test_division(self):
+        check_gradient(lambda x: (1.0 / (x * x + 2.0)).sum(), (3, 3))
+
+    def test_exp_log(self):
+        check_gradient(lambda x: (x.exp() + (x * x + 1.0).log()).sum(), (5,))
+
+    def test_relu(self):
+        check_gradient(lambda x: (x.relu() * x.relu()).sum(), (10,), seed=3)
+
+    def test_leaky_relu(self):
+        check_gradient(lambda x: x.leaky_relu(0.1).pow(2.0).sum(), (10,), seed=4)
+
+    def test_sigmoid_tanh(self):
+        check_gradient(lambda x: (x.sigmoid() + x.tanh()).sum(), (6,))
+
+    def test_mean_reduction(self):
+        check_gradient(lambda x: x.mean(), (4, 4))
+
+    def test_sum_axis(self):
+        check_gradient(lambda x: x.sum(axis=1).pow(2.0).sum(), (3, 4))
+
+    def test_broadcast_add_gradient(self):
+        rng = np.random.default_rng(5)
+        b = rng.normal(size=(1, 4))
+        check_gradient(lambda x: (x + Tensor(b)).pow(2.0).sum(), (3, 4))
+
+    def test_broadcast_bias_gradient(self):
+        rng = np.random.default_rng(6)
+        a = rng.normal(size=(3, 4))
+
+        def loss(bias):
+            return (Tensor(a) + bias).pow(2.0).sum()
+
+        check_gradient(loss, (4,))
+
+    def test_reshape_transpose_gradient(self):
+        check_gradient(lambda x: x.reshape(6, 2).transpose().pow(2.0).sum(), (3, 4))
+
+    def test_index_select_gradient(self):
+        idx = np.array([0, 2, 2, 1])
+        check_gradient(lambda x: x.index_select(idx).pow(2.0).sum(), (4, 3))
+
+    def test_scatter_add_gradient(self):
+        seg = np.array([0, 1, 0, 2, 1])
+        check_gradient(lambda x: x.scatter_add(seg, 3).pow(2.0).sum(), (5, 2))
+
+    def test_concatenate_gradient(self):
+        rng = np.random.default_rng(7)
+        other = rng.normal(size=(2, 3))
+        check_gradient(
+            lambda x: concatenate([x, Tensor(other)], axis=0).pow(2.0).sum(), (2, 3))
+
+    def test_getitem_gradient(self):
+        check_gradient(lambda x: x[1:3].pow(2.0).sum(), (5, 2))
+
+    def test_abs_gradient(self):
+        check_gradient(lambda x: x.abs().sum(), (6,), seed=11)
+
+    def test_gradient_accumulates_across_uses(self):
+        x = Tensor([2.0], requires_grad=True)
+        y = x * 3.0 + x * 4.0
+        y.backward()
+        assert x.grad[0] == pytest.approx(7.0)
+
+    def test_no_grad_tracking_without_requires_grad(self):
+        x = Tensor([1.0, 2.0])
+        y = (x * 2).sum()
+        y.backward()
+        assert x.grad is None
+
+    @given(st.integers(1, 5), st.integers(1, 5))
+    @settings(max_examples=20, deadline=None)
+    def test_mse_gradient_matches_analytic(self, rows, cols):
+        rng = np.random.default_rng(rows * 10 + cols)
+        prediction = rng.normal(size=(rows, cols))
+        target = rng.normal(size=(rows, cols))
+        p = Tensor(prediction, requires_grad=True)
+        loss = F.mse_loss(p, Tensor(target))
+        loss.backward()
+        analytic = 2.0 * (prediction - target) / prediction.size
+        np.testing.assert_allclose(p.grad, analytic, atol=1e-10)
+
+
+class TestFunctional:
+    def test_softmax_rows_sum_to_one(self):
+        x = Tensor(np.random.default_rng(0).normal(size=(4, 7)))
+        out = F.softmax(x, axis=1)
+        np.testing.assert_allclose(out.data.sum(axis=1), 1.0)
+
+    def test_softmax_invariant_to_shift(self):
+        x = np.random.default_rng(1).normal(size=(3, 5))
+        a = F.softmax(Tensor(x), axis=1).data
+        b = F.softmax(Tensor(x + 100.0), axis=1).data
+        np.testing.assert_allclose(a, b, atol=1e-12)
+
+    def test_segment_softmax_sums_to_one_per_segment(self):
+        logits = Tensor(np.random.default_rng(2).normal(size=8), requires_grad=True)
+        seg = np.array([0, 0, 1, 1, 1, 2, 2, 2])
+        out = F.segment_softmax(logits, seg, 3)
+        sums = np.zeros(3)
+        np.add.at(sums, seg, out.data)
+        np.testing.assert_allclose(sums, 1.0)
+
+    def test_segment_softmax_multihead(self):
+        logits = Tensor(np.random.default_rng(3).normal(size=(6, 2)))
+        seg = np.array([0, 0, 0, 1, 1, 1])
+        out = F.segment_softmax(logits, seg, 2)
+        sums = np.zeros((2, 2))
+        np.add.at(sums, seg, out.data)
+        np.testing.assert_allclose(sums, 1.0)
+
+    def test_segment_softmax_gradient(self):
+        seg = np.array([0, 0, 1, 1])
+
+        def loss(x):
+            return (F.segment_softmax(x, seg, 2) * Tensor(np.array([1.0, 2.0, 3.0, 4.0]))).sum()
+
+        rng = np.random.default_rng(4)
+        data = rng.normal(size=4)
+        x = Tensor(data.copy(), requires_grad=True)
+        out = loss(x)
+        out.backward()
+        numeric = numeric_gradient(lambda arr: loss(Tensor(arr)).item(), data.copy())
+        np.testing.assert_allclose(x.grad, numeric, atol=1e-6)
+
+    def test_segment_mean_handles_empty_segment(self):
+        values = Tensor(np.ones((3, 2)))
+        out = F.segment_mean(values, np.array([0, 0, 2]), 4)
+        np.testing.assert_allclose(out.data[1], 0.0)
+        np.testing.assert_allclose(out.data[0], 1.0)
+
+    def test_dropout_eval_is_identity(self):
+        x = Tensor(np.ones(100))
+        assert np.array_equal(F.dropout(x, 0.5, training=False).data, x.data)
+
+    def test_dropout_train_scales_survivors(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(np.ones(10000))
+        out = F.dropout(x, 0.5, training=True, rng=rng)
+        survivors = out.data[out.data > 0]
+        assert np.allclose(survivors, 2.0)
+        assert 0.4 < (out.data > 0).mean() < 0.6
+
+    def test_mae_and_huber_losses(self):
+        p = Tensor([1.0, 2.0, 3.0])
+        t = Tensor([1.0, 4.0, 3.0])
+        assert F.mae_loss(p, t).item() == pytest.approx(2.0 / 3.0)
+        assert F.huber_loss(p, t, delta=1.0).item() > 0

@@ -1,0 +1,162 @@
+"""Tests for the node vocabulary, graph encoder and batching."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clang import analyze, parse_snippet
+from repro.paragraph import (
+    DEFAULT_NODE_KINDS,
+    GraphEncoder,
+    UNK_TOKEN,
+    Vocabulary,
+    build_paragraph,
+    default_vocabulary,
+)
+from repro.paragraph.weights import WeightConfig, compute_execution_counts
+
+
+def toy_graph(source="for (int i = 0; i < 8; i++) { a[i] = i; }"):
+    return build_paragraph(analyze(parse_snippet(source)))
+
+
+class TestVocabulary:
+    def test_default_contains_all_ast_kinds(self):
+        vocab = default_vocabulary()
+        for kind in DEFAULT_NODE_KINDS:
+            assert kind in vocab
+
+    def test_unk_token_present(self):
+        assert UNK_TOKEN in default_vocabulary()
+
+    def test_unknown_label_maps_to_unk(self):
+        vocab = default_vocabulary()
+        assert vocab.index("NotARealKind") == vocab.index(UNK_TOKEN)
+
+    def test_index_label_round_trip(self):
+        vocab = default_vocabulary()
+        for label in ("ForStmt", "IfStmt", "DeclRefExpr"):
+            assert vocab.label(vocab.index(label)) == label
+
+    def test_encode_shape_and_dtype(self):
+        vocab = default_vocabulary()
+        encoded = vocab.encode(["ForStmt", "IfStmt"])
+        assert encoded.shape == (2,) and encoded.dtype == np.int64
+
+    def test_one_hot_rows_sum_to_one(self):
+        vocab = default_vocabulary()
+        one_hot = vocab.one_hot(["ForStmt", "WhileStmt", "Bogus"])
+        assert one_hot.shape == (3, vocab.size)
+        assert np.allclose(one_hot.sum(axis=1), 1.0)
+
+    def test_fit_from_corpus(self):
+        vocab = Vocabulary.fit([["A", "B"], ["B", "C"]])
+        assert {"A", "B", "C"}.issubset(set(vocab.labels()))
+        assert UNK_TOKEN in vocab
+
+    @given(st.lists(st.sampled_from(DEFAULT_NODE_KINDS), min_size=1, max_size=30))
+    @settings(max_examples=30, deadline=None)
+    def test_one_hot_argmax_recovers_indices(self, labels):
+        vocab = default_vocabulary()
+        one_hot = vocab.one_hot(labels)
+        assert np.array_equal(one_hot.argmax(axis=1), vocab.encode(labels))
+
+
+class TestGraphEncoder:
+    def test_feature_dim_includes_terminal_flag(self):
+        encoder = GraphEncoder(include_terminal_flag=True)
+        assert encoder.feature_dim == default_vocabulary().size + 1
+
+    def test_feature_dim_without_terminal_flag(self):
+        encoder = GraphEncoder(include_terminal_flag=False)
+        assert encoder.feature_dim == default_vocabulary().size
+
+    def test_encoded_shapes_consistent(self):
+        graph = toy_graph()
+        encoded = GraphEncoder().encode(graph, num_teams=2, num_threads=8, target=123.0)
+        assert encoded.node_features.shape == (graph.num_nodes, GraphEncoder().feature_dim)
+        assert encoded.edge_index.shape == (2, graph.num_edges)
+        assert encoded.edge_type.shape == (graph.num_edges,)
+        assert encoded.edge_weight.shape == (graph.num_edges,)
+        assert encoded.aux_features.tolist() == [2.0, 8.0]
+        assert encoded.target == 123.0
+
+    def test_log_scaling_of_weights(self):
+        graph = toy_graph()
+        scaled = GraphEncoder(log_scale_weights=True).encode(graph)
+        raw = GraphEncoder(log_scale_weights=False).encode(graph)
+        assert scaled.edge_weight.max() <= raw.edge_weight.max()
+        assert np.allclose(scaled.edge_weight, np.log1p(raw.edge_weight))
+
+    def test_metadata_stored(self):
+        encoded = GraphEncoder().encode(toy_graph(), metadata={"application": "MM"})
+        assert encoded.metadata["application"] == "MM"
+
+    def test_collate_offsets_edge_indices(self):
+        encoder = GraphEncoder()
+        first = encoder.encode(toy_graph())
+        second = encoder.encode(toy_graph())
+        batch = GraphEncoder.collate([first, second])
+        assert batch.num_graphs == 2
+        assert batch.node_features.shape[0] == first.num_nodes + second.num_nodes
+        # second graph's edges must reference offset node ids
+        assert batch.edge_index[:, first.num_edges:].min() >= first.num_nodes
+
+    def test_collate_batch_vector(self):
+        encoder = GraphEncoder()
+        batch = GraphEncoder.collate([encoder.encode(toy_graph()),
+                                      encoder.encode(toy_graph("x = 1;"))])
+        assert set(batch.batch.tolist()) == {0, 1}
+        assert batch.batch.shape[0] == batch.node_features.shape[0]
+
+    def test_collate_targets_and_aux(self):
+        encoder = GraphEncoder()
+        a = encoder.encode(toy_graph(), num_teams=1, num_threads=2, target=10.0)
+        b = encoder.encode(toy_graph(), num_teams=3, num_threads=4, target=20.0)
+        batch = GraphEncoder.collate([a, b])
+        assert batch.targets.tolist() == [10.0, 20.0]
+        assert batch.aux_features.shape == (2, 2)
+
+    def test_collate_empty_raises(self):
+        with pytest.raises(ValueError):
+            GraphEncoder.collate([])
+
+    @given(st.integers(1, 6))
+    @settings(max_examples=10, deadline=None)
+    def test_collate_preserves_total_edge_count(self, copies):
+        encoder = GraphEncoder()
+        encoded = encoder.encode(toy_graph())
+        batch = GraphEncoder.collate([encoded] * copies)
+        assert batch.edge_index.shape[1] == encoded.num_edges * copies
+
+
+class TestExecutionCounts:
+    def test_root_count_is_one(self):
+        ast = analyze(parse_snippet("x = 1;"))
+        counts = compute_execution_counts(ast)
+        assert counts[id(ast)] == pytest.approx(1.0)
+
+    def test_every_node_has_a_count(self):
+        ast = analyze(parse_snippet("for (int i = 0; i < 3; i++) { if (i) { x = i; } }"))
+        counts = compute_execution_counts(ast)
+        for node in ast.walk():
+            assert id(node) in counts
+            assert counts[id(node)] > 0
+
+    def test_while_loop_uses_default_trip_count(self):
+        ast = analyze(parse_snippet("while (running) { x += 1; }"))
+        counts = compute_execution_counts(ast, WeightConfig(default_trip_count=12))
+        body = ast.find_all("WhileStmt")[0].body
+        assert counts[id(body)] == pytest.approx(12.0)
+
+    def test_collapse_divides_across_nest_once(self):
+        source = ("#pragma omp target teams distribute parallel for collapse(2)\n"
+                  "for (int i = 0; i < 10; i++) { for (int j = 0; j < 10; j++) { x += j; } }")
+        ast = analyze(parse_snippet(source))
+        config = WeightConfig(num_threads=5, num_teams=2, env=None or __import__(
+            "repro.clang.semantics", fromlist=["ConstantEnvironment"]).ConstantEnvironment())
+        counts = compute_execution_counts(ast, config)
+        inner_body = ast.find_all("ForStmt")[1].body
+        # total 100 iterations divided by 10-way parallelism = 10
+        assert counts[id(inner_body)] == pytest.approx(10.0)

@@ -1,0 +1,159 @@
+"""Tests for the ParaGraph container, edge vocabulary and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.paragraph.edges import (
+    AUGMENTATION_EDGE_TYPES,
+    Edge,
+    EdgeType,
+    NUM_EDGE_TYPES,
+)
+from repro.paragraph.graph import ParaGraph
+
+
+class TestEdgeType:
+    def test_eight_edge_types(self):
+        assert NUM_EDGE_TYPES == 8
+
+    def test_child_is_type_zero(self):
+        assert int(EdgeType.CHILD) == 0
+
+    def test_display_names_match_paper(self):
+        names = {t.display_name for t in EdgeType}
+        assert names == {"Child", "NextToken", "NextSib", "Ref",
+                         "ForExec", "ForNext", "ConTrue", "ConFalse"}
+
+    def test_augmentation_edges_exclude_child(self):
+        assert EdgeType.CHILD not in AUGMENTATION_EDGE_TYPES
+        assert len(AUGMENTATION_EDGE_TYPES) == 7
+
+    def test_edge_tuple_round_trip(self):
+        edge = Edge(1, 2, EdgeType.REF, 0.0)
+        assert edge.as_tuple() == (1, 2, int(EdgeType.REF), 0.0)
+
+
+def small_graph():
+    graph = ParaGraph(name="toy")
+    a = graph.add_node("CompoundStmt")
+    b = graph.add_node("BinaryOperator", spelling="=")
+    c = graph.add_node("IntegerLiteral", spelling="5", is_terminal=True)
+    graph.add_edge(a, b, EdgeType.CHILD, 1.0)
+    graph.add_edge(b, c, EdgeType.CHILD, 2.0)
+    graph.add_edge(c, c, EdgeType.NEXT_TOKEN)
+    return graph
+
+
+class TestParaGraphContainer:
+    def test_node_ids_consecutive(self):
+        graph = small_graph()
+        assert [n.node_id for n in graph.nodes] == [0, 1, 2]
+
+    def test_num_nodes_and_edges(self):
+        graph = small_graph()
+        assert graph.num_nodes == 3 and graph.num_edges == 3
+
+    def test_non_child_edge_weight_forced_to_zero(self):
+        graph = ParaGraph()
+        a, b = graph.add_node("A"), graph.add_node("B")
+        edge = graph.add_edge(a, b, EdgeType.REF, weight=5.0)
+        assert edge.weight == 0.0
+
+    def test_dangling_edge_raises(self):
+        graph = ParaGraph()
+        graph.add_node("A")
+        with pytest.raises(IndexError):
+            graph.add_edge(0, 99, EdgeType.CHILD, 1.0)
+
+    def test_edges_of_type(self):
+        graph = small_graph()
+        assert len(graph.edges_of_type(EdgeType.CHILD)) == 2
+        assert len(graph.edges_of_type(EdgeType.NEXT_TOKEN)) == 1
+
+    def test_edge_type_counts_covers_all_types(self):
+        counts = small_graph().edge_type_counts()
+        assert set(counts) == set(EdgeType)
+        assert counts[EdgeType.CHILD] == 2
+
+    def test_in_and_out_edges(self):
+        graph = small_graph()
+        assert len(graph.out_edges(1)) == 1
+        assert len(graph.in_edges(1)) == 1
+
+    def test_edge_index_shape(self):
+        index = small_graph().edge_index()
+        assert index.shape == (2, 3)
+        assert index.dtype == np.int64
+
+    def test_empty_graph_edge_index(self):
+        assert ParaGraph().edge_index().shape == (2, 0)
+
+    def test_edge_types_and_weights_arrays(self):
+        graph = small_graph()
+        assert graph.edge_types().tolist() == [0, 0, int(EdgeType.NEXT_TOKEN)]
+        assert graph.edge_weights().tolist() == [1.0, 2.0, 0.0]
+
+    def test_adjacency_matrix(self):
+        matrix = small_graph().adjacency_matrix()
+        assert matrix.shape == (3, 3)
+        assert matrix[0, 1] == 1.0 and matrix[1, 0] == 0.0
+
+    def test_adjacency_matrix_filtered_by_type(self):
+        matrix = small_graph().adjacency_matrix(EdgeType.NEXT_TOKEN)
+        assert matrix.sum() == 1.0
+
+    def test_to_networkx(self):
+        nx_graph = small_graph().to_networkx()
+        assert nx_graph.number_of_nodes() == 3
+        assert nx_graph.number_of_edges() == 3
+        labels = {data["label"] for _, data in nx_graph.nodes(data=True)}
+        assert "CompoundStmt" in labels
+
+    def test_validate_accepts_well_formed(self):
+        small_graph().validate()
+
+    def test_validate_rejects_zero_weight_child_edge(self):
+        graph = ParaGraph()
+        a, b = graph.add_node("A"), graph.add_node("B")
+        graph.edges.append(Edge(a, b, EdgeType.CHILD, 0.0))
+        with pytest.raises(ValueError):
+            graph.validate()
+
+    def test_validate_rejects_weighted_non_child_edge(self):
+        graph = ParaGraph()
+        a, b = graph.add_node("A"), graph.add_node("B")
+        graph.edges.append(Edge(a, b, EdgeType.REF, 3.0))
+        with pytest.raises(ValueError):
+            graph.validate()
+
+    def test_summary_mentions_counts(self):
+        text = small_graph().summary()
+        assert "3 nodes" in text and "Child=2" in text
+
+    def test_node_id_for_ast_node(self):
+        from repro.clang import parse_snippet
+
+        ast = parse_snippet("x = 1;")
+        graph = ParaGraph()
+        node_id = graph.add_node("CompoundStmt", ast_node=ast)
+        assert graph.node_id_for(ast) == node_id
+
+    @given(st.integers(1, 30), st.integers(0, 60))
+    @settings(max_examples=30, deadline=None)
+    def test_random_graph_exports_are_consistent(self, num_nodes, num_edges):
+        rng = np.random.default_rng(num_nodes * 1000 + num_edges)
+        graph = ParaGraph()
+        for i in range(num_nodes):
+            graph.add_node(f"Kind{i % 5}")
+        for _ in range(num_edges):
+            src, dst = rng.integers(0, num_nodes, size=2)
+            edge_type = EdgeType(int(rng.integers(0, NUM_EDGE_TYPES)))
+            weight = float(rng.random() + 0.1) if edge_type is EdgeType.CHILD else 0.0
+            graph.add_edge(int(src), int(dst), edge_type, weight)
+        graph.validate()
+        assert graph.edge_index().shape == (2, num_edges)
+        assert graph.edge_types().shape == (num_edges,)
+        assert graph.edge_weights().shape == (num_edges,)
+        assert graph.to_networkx().number_of_edges() == num_edges

@@ -1,0 +1,102 @@
+"""Tests for OpenMP pragma parsing."""
+
+import pytest
+
+from repro.clang.ast_nodes import (
+    OMPGenericDirective,
+    OMPParallelForDirective,
+    OMPTargetDataDirective,
+    OMPTargetEnterDataDirective,
+    OMPTargetTeamsDistributeParallelForDirective,
+)
+from repro.clang.pragmas import (
+    PragmaError,
+    is_standalone,
+    parse_clauses,
+    parse_omp_pragma,
+)
+
+
+class TestDirectiveMatching:
+    def test_parallel_for(self):
+        cls, name, clauses = parse_omp_pragma("omp parallel for")
+        assert cls is OMPParallelForDirective
+        assert name == "parallel for"
+        assert clauses == []
+
+    def test_longest_match_wins(self):
+        cls, name, _ = parse_omp_pragma("omp target teams distribute parallel for")
+        assert cls is OMPTargetTeamsDistributeParallelForDirective
+        assert name == "target teams distribute parallel for"
+
+    def test_target_data(self):
+        cls, _, _ = parse_omp_pragma("omp target data map(to: a[0:100])")
+        assert cls is OMPTargetDataDirective
+
+    def test_target_enter_data_is_standalone(self):
+        cls, name, _ = parse_omp_pragma("omp target enter data map(to: a[0:10])")
+        assert cls is OMPTargetEnterDataDirective
+        assert is_standalone(name)
+
+    def test_parallel_for_is_not_standalone(self):
+        _, name, _ = parse_omp_pragma("omp parallel for")
+        assert not is_standalone(name)
+
+    def test_unknown_directive_falls_back_to_generic(self):
+        cls, name, _ = parse_omp_pragma("omp taskloop grainsize(4)")
+        assert cls is OMPGenericDirective
+        assert name == "taskloop"
+
+    def test_non_omp_pragma_raises(self):
+        with pytest.raises(PragmaError):
+            parse_omp_pragma("unroll 4")
+
+    def test_empty_omp_pragma_raises(self):
+        with pytest.raises(PragmaError):
+            parse_omp_pragma("omp")
+
+
+class TestClauses:
+    def test_collapse_integer_argument(self):
+        _, _, clauses = parse_omp_pragma("omp parallel for collapse(2)")
+        assert clauses[0].clause_name == "collapse"
+        assert clauses[0].children[0].value == 2
+
+    def test_num_threads_clause(self):
+        _, _, clauses = parse_omp_pragma("omp parallel for num_threads(8) schedule(static)")
+        names = [c.clause_name for c in clauses]
+        assert names == ["num_threads", "schedule"]
+
+    def test_map_clause_text_preserved(self):
+        _, _, clauses = parse_omp_pragma(
+            "omp target teams distribute parallel for map(to: A[0:100], B[0:200]) map(from: C[0:100])")
+        maps = [c for c in clauses if c.clause_name == "map"]
+        assert len(maps) == 2
+        assert "A[0:100]" in maps[0].arguments_text
+
+    def test_clause_without_arguments(self):
+        clauses = parse_clauses("nowait")
+        assert clauses[0].clause_name == "nowait"
+        assert clauses[0].arguments_text == ""
+
+    def test_nested_parentheses_in_clause(self):
+        clauses = parse_clauses("if(n > (m + 1))")
+        assert clauses[0].arguments_text == "n > (m + 1)"
+
+    def test_unbalanced_parentheses_raise(self):
+        with pytest.raises(PragmaError):
+            parse_clauses("map(to: a[0:10]")
+
+    def test_multiple_clauses_mixed(self):
+        _, _, clauses = parse_omp_pragma(
+            "omp target teams distribute parallel for collapse(2) num_teams(64) thread_limit(128)")
+        values = {c.clause_name: c for c in clauses}
+        assert set(values) == {"collapse", "num_teams", "thread_limit"}
+
+    def test_clause_int_helper_via_directive(self):
+        from repro.clang.pragmas import build_directive
+        cls, name, clauses = parse_omp_pragma("omp parallel for collapse(3) num_threads(16)")
+        directive = build_directive(cls, name, clauses)
+        assert directive.clause_int("collapse") == 3
+        assert directive.clause_int("num_threads") == 16
+        assert directive.clause_int("missing", 5) == 5

@@ -1,0 +1,35 @@
+"""Additional tests for report formatting edge cases."""
+
+from repro.evaluation import format_curves, format_series, format_table
+
+
+class TestFormatTable:
+    def test_missing_column_renders_blank(self):
+        text = format_table([{"a": 1}, {"a": 2, "b": 3}], columns=("a", "b"))
+        assert "a" in text and "b" in text
+
+    def test_float_format_applied(self):
+        text = format_table([{"value": 0.123456789}], float_format="{:.2f}")
+        assert "0.12" in text
+
+    def test_column_subset_respected(self):
+        text = format_table([{"a": 1, "b": 2, "c": 3}], columns=("a", "c"))
+        assert "b" not in text.splitlines()[0]
+
+    def test_wide_values_align(self):
+        rows = [{"name": "x" * 30, "v": 1}, {"name": "y", "v": 12345}]
+        lines = format_table(rows).splitlines()
+        assert len(lines[0]) == len(lines[2])
+
+
+class TestFormatSeriesAndCurves:
+    def test_series_with_multiple_groups(self):
+        text = format_series({"A": {"p": 1.0}, "B": {"q": 2.0}})
+        assert "[A]" in text and "[B]" in text
+
+    def test_curves_include_last_value(self):
+        text = format_curves({"model": [0.9, 0.8, 0.7, 0.65]}, every=3)
+        assert "0.6500" in text
+
+    def test_curves_empty_series(self):
+        assert format_curves({"model": []}) == "model: "

@@ -1,0 +1,219 @@
+"""Tests for reference resolution, implicit casts, constant folding and
+trip-count analysis."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clang import analyze, parse_snippet, parse_source
+from repro.clang.ast_nodes import DeclRefExpr, ForStmt, ImplicitCastExpr, VarDecl
+from repro.clang.semantics import (
+    ConstantEnvironment,
+    SemanticError,
+    estimate_trip_count,
+    evaluate_constant,
+    insert_implicit_casts,
+    resolve_references,
+)
+from repro.clang.parser import Parser
+from repro.clang.lexer import tokenize
+
+
+def parse_expr(text):
+    return Parser(tokenize(text)).parse_expression()
+
+
+class TestReferenceResolution:
+    def test_local_variable_resolves(self):
+        ast = parse_snippet("int x = 1; x = x + 2;")
+        resolved = resolve_references(ast)
+        refs = [n for n in ast.walk() if isinstance(n, DeclRefExpr)]
+        assert resolved == len(refs)
+        assert all(isinstance(r.referenced_decl, VarDecl) for r in refs)
+
+    def test_parameter_resolves(self):
+        unit = parse_source("void f(int n) { n = n + 1; }")
+        resolve_references(unit)
+        refs = unit.find_all("DeclRefExpr")
+        assert all(ref.referenced_decl is not None for ref in refs)
+
+    def test_loop_counter_resolves_inside_body(self):
+        ast = parse_snippet("for (int i = 0; i < 10; i++) { int y = i; }")
+        resolve_references(ast)
+        refs = [n for n in ast.walk() if isinstance(n, DeclRefExpr) and n.name == "i"]
+        assert refs and all(r.referenced_decl is not None for r in refs)
+
+    def test_unresolved_library_call_allowed_by_default(self):
+        ast = parse_snippet("double y = sqrt(2.0);")
+        resolve_references(ast)  # should not raise
+        sqrt_ref = [n for n in ast.walk() if isinstance(n, DeclRefExpr) and n.name == "sqrt"][0]
+        assert sqrt_ref.referenced_decl is None
+
+    def test_strict_mode_raises_on_unresolved(self):
+        ast = parse_snippet("y = unknown_variable;")
+        with pytest.raises(SemanticError):
+            resolve_references(ast, strict=True)
+
+    def test_shadowing_resolves_to_innermost(self):
+        ast = parse_snippet("int x = 1; { int x = 2; x = 3; }")
+        resolve_references(ast)
+        inner_assignment_ref = [n for n in ast.walk()
+                                if isinstance(n, DeclRefExpr) and n.name == "x"][-1]
+        assert inner_assignment_ref.referenced_decl.init.value == 2
+
+    def test_function_name_resolves_to_function_decl(self):
+        unit = parse_source("int helper(int a) { return a; }\n"
+                            "int main() { return helper(1); }")
+        resolve_references(unit)
+        call_ref = [n for n in unit.walk()
+                    if isinstance(n, DeclRefExpr) and n.name == "helper"][0]
+        assert call_ref.referenced_decl is not None
+        assert call_ref.referenced_decl.kind == "FunctionDecl"
+
+
+class TestImplicitCasts:
+    def test_rvalue_use_gets_cast(self):
+        ast = parse_snippet("int x; int y; y = x;")
+        insert_implicit_casts(ast)
+        casts = ast.find_all("ImplicitCastExpr")
+        assert len(casts) == 1
+        assert isinstance(casts[0].children[0], DeclRefExpr)
+
+    def test_assignment_lhs_not_cast(self):
+        ast = parse_snippet("int x; x = 1;")
+        insert_implicit_casts(ast)
+        assert ast.find_all("ImplicitCastExpr") == []
+
+    def test_condition_use_gets_cast_like_figure2(self):
+        # the paper's Fig. 2: if (x > 50) shows ImplicitCastExpr above DeclRefExpr
+        ast = parse_snippet("int x; if (x > 50) { x = 1; }")
+        insert_implicit_casts(ast)
+        condition_casts = ast.find_all("ImplicitCastExpr")
+        assert len(condition_casts) == 1
+
+    def test_array_base_gets_decay_cast(self):
+        ast = parse_snippet("double a[10]; double y; y = a[2];")
+        insert_implicit_casts(ast)
+        kinds = {c.cast_kind for c in ast.find_all("ImplicitCastExpr")}
+        assert "ArrayToPointerDecay" in kinds
+
+    def test_address_of_operand_not_cast(self):
+        ast = parse_snippet("int x; int *p; p = &x;")
+        insert_implicit_casts(ast)
+        for cast in ast.find_all("ImplicitCastExpr"):
+            assert cast.children[0].name != "x" or cast.cast_kind != "LValueToRValue"
+
+    def test_idempotent_no_double_wrap(self):
+        ast = parse_snippet("int x; int y; y = x + x;")
+        first = insert_implicit_casts(ast)
+        second = insert_implicit_casts(ast)
+        assert second == 0
+        assert len(ast.find_all("ImplicitCastExpr")) == first
+
+    def test_parent_accessor_updated(self):
+        ast = parse_snippet("int x; int y; y = x;")
+        insert_implicit_casts(ast)
+        assignment = [n for n in ast.walk() if n.kind == "BinaryOperator"][0]
+        assert isinstance(assignment.rhs, ImplicitCastExpr)
+
+    def test_analyze_runs_both_passes(self):
+        ast = analyze(parse_snippet("int x = 2; int y; y = x;"))
+        assert ast.find_all("ImplicitCastExpr")
+        ref = [n for n in ast.walk() if isinstance(n, DeclRefExpr) and n.name == "x"][0]
+        assert ref.referenced_decl is not None
+
+
+class TestConstantFolding:
+    def test_literal(self):
+        assert evaluate_constant(parse_expr("42")) == 42
+
+    def test_arithmetic(self):
+        assert evaluate_constant(parse_expr("2 + 3 * 4")) == 14
+
+    def test_division_integer(self):
+        assert evaluate_constant(parse_expr("7 / 2")) == 3
+
+    def test_unary_minus(self):
+        assert evaluate_constant(parse_expr("-5")) == -5
+
+    def test_comparison(self):
+        assert evaluate_constant(parse_expr("3 < 5")) == 1
+
+    def test_ternary(self):
+        assert evaluate_constant(parse_expr("1 ? 10 : 20")) == 10
+
+    def test_variable_from_environment(self):
+        env = ConstantEnvironment({"N": 128})
+        assert evaluate_constant(parse_expr("N * 2"), env) == 256
+
+    def test_unknown_variable_returns_none(self):
+        assert evaluate_constant(parse_expr("M + 1")) is None
+
+    def test_sizeof_double(self):
+        assert evaluate_constant(parse_expr("sizeof(double)")) == 8
+
+    def test_division_by_zero_returns_none_or_zero(self):
+        assert evaluate_constant(parse_expr("1 % 0")) in (None, 0)
+
+    @given(st.integers(-1000, 1000), st.integers(-1000, 1000))
+    @settings(max_examples=40, deadline=None)
+    def test_addition_matches_python(self, a, b):
+        assert evaluate_constant(parse_expr(f"({a}) + ({b})")) == a + b
+
+    @given(st.integers(0, 500), st.integers(1, 50))
+    @settings(max_examples=40, deadline=None)
+    def test_multiplication_matches_python(self, a, b):
+        assert evaluate_constant(parse_expr(f"{a} * {b}")) == a * b
+
+
+class TestTripCount:
+    def get_loop(self, source):
+        ast = parse_snippet(source)
+        return ast.find_all("ForStmt")[0]
+
+    def test_simple_upward_loop(self):
+        loop = self.get_loop("for (int i = 0; i < 100; i++) {}")
+        assert estimate_trip_count(loop) == 100
+
+    def test_inclusive_bound(self):
+        loop = self.get_loop("for (int i = 0; i <= 100; i++) {}")
+        assert estimate_trip_count(loop) == 101
+
+    def test_nonzero_start(self):
+        loop = self.get_loop("for (int i = 10; i < 100; i++) {}")
+        assert estimate_trip_count(loop) == 90
+
+    def test_step_two(self):
+        loop = self.get_loop("for (int i = 0; i < 100; i += 2) {}")
+        assert estimate_trip_count(loop) == 50
+
+    def test_downward_loop(self):
+        loop = self.get_loop("for (int i = 99; i >= 0; i--) {}")
+        assert estimate_trip_count(loop) == 100
+
+    def test_variable_bound_from_environment(self):
+        loop = self.get_loop("for (int i = 0; i < N; i++) {}")
+        env = ConstantEnvironment({"N": 777})
+        assert estimate_trip_count(loop, env) == 777
+
+    def test_unknown_bound_uses_default(self):
+        loop = self.get_loop("for (int i = 0; i < unknown; i++) {}")
+        assert estimate_trip_count(loop, default=7) == 7
+
+    def test_zero_trip_loop(self):
+        loop = self.get_loop("for (int i = 10; i < 5; i++) {}")
+        assert estimate_trip_count(loop) == 0
+
+    def test_flipped_condition(self):
+        loop = self.get_loop("for (int i = 0; 100 > i; i++) {}")
+        assert estimate_trip_count(loop) == 100
+
+    def test_assignment_style_init(self):
+        loop = self.get_loop("int i; for (i = 5; i < 25; i++) {}")
+        assert estimate_trip_count(loop) == 20
+
+    @given(st.integers(0, 50), st.integers(51, 300), st.integers(1, 7))
+    @settings(max_examples=40, deadline=None)
+    def test_trip_count_matches_python_range(self, start, stop, step):
+        loop = self.get_loop(f"for (int i = {start}; i < {stop}; i += {step}) {{}}")
+        assert estimate_trip_count(loop) == len(range(start, stop, step))

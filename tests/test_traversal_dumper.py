@@ -1,0 +1,116 @@
+"""Tests for AST traversal utilities and the dumper."""
+
+from repro.clang import analyze, parse_snippet, parse_source
+from repro.clang.ast_nodes import ForStmt
+from repro.clang.dumper import dump, summarize
+from repro.clang.traversal import (
+    count_nodes,
+    enclosing_loops,
+    iter_for_loops,
+    iter_loops,
+    iter_omp_directives,
+    loop_nest_depth,
+    perfectly_nested_for_loops,
+    postorder,
+    preorder,
+    terminals_in_token_order,
+)
+
+NESTED = """
+for (int i = 0; i < 10; i++) {
+  for (int j = 0; j < 20; j++) {
+    a[i][j] = i + j;
+  }
+}
+"""
+
+
+class TestTraversal:
+    def test_preorder_starts_with_root(self):
+        ast = parse_snippet("int x; x = 1;")
+        nodes = list(preorder(ast))
+        assert nodes[0] is ast
+
+    def test_preorder_and_postorder_same_node_set(self):
+        ast = parse_snippet(NESTED)
+        assert {id(n) for n in preorder(ast)} == {id(n) for n in postorder(ast)}
+
+    def test_postorder_children_before_parent(self):
+        ast = parse_snippet("a = b + c;")
+        order = {id(n): i for i, n in enumerate(postorder(ast))}
+        for node in preorder(ast):
+            for child in node.children:
+                assert order[id(child)] < order[id(node)]
+
+    def test_count_nodes_with_predicate(self):
+        ast = parse_snippet(NESTED)
+        assert count_nodes(ast, lambda n: n.kind == "ForStmt") == 2
+
+    def test_terminals_in_token_order_sorted(self):
+        ast = parse_snippet("int x; x = y + 1;")
+        terminals = terminals_in_token_order(ast)
+        indices = [t.token_index for t in terminals if t.token_index >= 0]
+        assert indices == sorted(indices)
+
+    def test_terminals_are_actually_terminal(self):
+        ast = parse_snippet(NESTED)
+        for terminal in terminals_in_token_order(ast):
+            assert terminal.is_terminal
+
+    def test_iter_loops_counts_all_loop_kinds(self):
+        ast = parse_snippet("while (a) { } do { } while (b); for (;;) {}")
+        assert len(list(iter_loops(ast))) == 3
+
+    def test_iter_for_loops_only_for(self):
+        ast = parse_snippet("while (a) { for (;;) {} }")
+        assert len(list(iter_for_loops(ast))) == 1
+
+    def test_loop_nest_depth(self):
+        assert loop_nest_depth(parse_snippet(NESTED)) == 2
+
+    def test_loop_nest_depth_sequential_loops(self):
+        ast = parse_snippet("for (;;) {} for (;;) {}")
+        assert loop_nest_depth(ast) == 1
+
+    def test_enclosing_loops_outermost_first(self):
+        ast = parse_snippet(NESTED)
+        analyze(ast)
+        inner_assignment = ast.find_all("BinaryOperator")[-1]
+        loops = enclosing_loops(inner_assignment)
+        assert len(loops) == 2
+        assert isinstance(loops[0], ForStmt)
+
+    def test_perfectly_nested_two_levels(self):
+        ast = parse_snippet(NESTED)
+        outer = next(iter_for_loops(ast))
+        assert len(perfectly_nested_for_loops(outer)) == 2
+
+    def test_imperfect_nest_stops_at_first_level(self):
+        source = "for (int i = 0; i < 10; i++) { x = 1; for (int j = 0; j < 5; j++) {} }"
+        outer = next(iter_for_loops(parse_snippet(source)))
+        assert len(perfectly_nested_for_loops(outer)) == 1
+
+    def test_iter_omp_directives(self):
+        ast = parse_snippet("#pragma omp parallel for\nfor (int i = 0; i < 4; i++) {}")
+        assert len(list(iter_omp_directives(ast))) == 1
+
+
+class TestDumper:
+    def test_dump_contains_node_kinds(self):
+        text = dump(parse_snippet("int x = 1; if (x) { x = 2; }"))
+        for kind in ("CompoundStmt", "DeclStmt", "VarDecl", "IfStmt"):
+            assert kind in text
+
+    def test_dump_contains_spellings(self):
+        text = dump(parse_snippet("value = 42;"))
+        assert "'value'" in text and "'42'" in text
+
+    def test_dump_max_depth_limits_output(self):
+        ast = parse_snippet(NESTED)
+        shallow = dump(ast, max_depth=1)
+        deep = dump(ast)
+        assert len(shallow.splitlines()) < len(deep.splitlines())
+
+    def test_summarize_counts(self):
+        summary = summarize(parse_snippet("a = 1; b = 2;"))
+        assert "BinaryOperator=2" in summary
