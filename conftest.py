@@ -3,10 +3,36 @@
 The offline environment has no `wheel` package, so `pip install -e .` cannot
 build a PEP-660 editable wheel; `python setup.py develop` works, but this
 fallback keeps `pytest` functional from a clean checkout either way.
+
+Also registers the ``slow`` marker: tests/benchmarks marked
+``@pytest.mark.slow`` (e.g. paper-scale benchmark variants) are skipped
+unless ``--runslow`` is passed, so the tier-1 ``pytest -x -q`` run stays
+fast.
 """
 import os
 import sys
 
+import pytest
+
 _SRC = os.path.join(os.path.dirname(__file__), "src")
 if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
+
+
+def pytest_addoption(parser):
+    parser.addoption("--runslow", action="store_true", default=False,
+                     help="also run tests marked @pytest.mark.slow")
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "slow: expensive test, skipped unless --runslow is given")
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--runslow"):
+        return
+    skip_slow = pytest.mark.skip(reason="slow test: pass --runslow to run it")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip_slow)

@@ -1,10 +1,10 @@
 #!/usr/bin/env python3
 """Ablation study: Raw AST vs Augmented AST vs ParaGraph (Table IV / Fig. 7).
 
-Trains the same RGAT model on the three levels of the representation using a
-compact simulated dataset for the AMD MI50 and prints the resulting RMSE per
-level plus the per-epoch curves, reproducing the shape of the paper's
-ablation: new edges help, edge weights help more.
+Runs one :class:`~repro.api.Session` per graph-representation level — the
+only config difference between them is ``GraphConfig(variant=...)`` — on a
+compact simulated dataset for the AMD MI50, reproducing the shape of the
+paper's ablation: new edges help, edge weights help more.
 
 Run with:  python examples/ablation_study.py
 """
@@ -14,11 +14,14 @@ import sys
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
-from repro.evaluation import format_curves, format_table, run_ablation
-from repro.hardware import MI50
-from repro.kernels import get_kernel
+from repro.api import (DataConfig, GraphConfig, ModelConfig, ReproConfig, Session,
+                       get_kernel)
+from repro.evaluation import format_curves, format_table
 from repro.ml.trainer import TrainingConfig
 from repro.pipeline import SweepConfig
+
+PLATFORM = "AMD MI50"
+VARIANTS = ("raw_ast", "augmented_ast", "paragraph")
 
 
 def main() -> None:
@@ -33,16 +36,24 @@ def main() -> None:
     training = TrainingConfig(epochs=25, batch_size=16, learning_rate=2e-3, seed=0)
 
     print("Training the model on Raw AST, Augmented AST and ParaGraph (AMD MI50)...")
-    ablation = run_ablation(sweep=sweep, training=training, platforms=(MI50,),
-                            hidden_dim=24, seed=0)
+    row = {"platform": PLATFORM}
+    curves = {}
+    for variant in VARIANTS:
+        session = Session(ReproConfig(
+            data=DataConfig(sweep=sweep, platforms=("mi50",)),
+            graph=GraphConfig(variant=variant),
+            model=ModelConfig(hidden_dim=24),
+            training=training,
+            seed=0,
+        ))
+        platform_result = session.train()[PLATFORM]
+        row[variant] = platform_result.metrics["rmse"] / 1000.0
+        curves[variant] = platform_result.history.val_rmses
 
-    rows = ablation.rmse_table()
     print("\nTable IV shape — RMSE (ms) per representation:")
-    print(format_table(rows, ("platform", "raw_ast", "augmented_ast", "paragraph")))
+    print(format_table([row], ("platform",) + VARIANTS))
 
     print("\nFig. 7 shape — validation RMSE (us) per epoch:")
-    curves = {variant: history.val_rmses
-              for variant, history in ablation.histories_for(MI50.name).items()}
     print(format_curves(curves, every=5, value_format="{:.0f}"))
 
 

@@ -13,12 +13,15 @@ import sys
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
+from repro.api import get_kernel, get_platform
 from repro.compoff import COMPOFFConfig
 from repro.evaluation import format_table, run_comparison
-from repro.hardware import V100
-from repro.kernels import get_kernel
 from repro.ml.trainer import TrainingConfig
 from repro.pipeline import SweepConfig
+
+# resolved through the repro.api platform registry; the comparison driver
+# itself builds its ParaGraph model through repro.api.ModelConfig
+V100 = get_platform("v100")
 
 
 def main() -> None:

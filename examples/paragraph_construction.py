@@ -1,10 +1,13 @@
 #!/usr/bin/env python3
 """ParaGraph construction walk-through (the paper's Fig. 2 examples).
 
-Parses the three toy snippets from Fig. 2 — a declaration + assignment, an
-``if``/``else`` and a ``for`` loop — dumps their Clang-style ASTs, and prints
-the edges and weights ParaGraph adds on top (NextToken, NextSib, Ref,
-ForExec, ForNext, ConTrue, ConFalse, and the loop/branch Child-edge weights).
+Feeds the three toy snippets from Fig. 2 — a declaration + assignment, an
+``if``/``else`` and a ``for`` loop — through the ``repro.api`` stage
+pipeline (``ParseStage -> GraphStage``), dumps the Clang-style ASTs, and
+prints the edges and weights ParaGraph adds on top (NextToken, NextSib, Ref,
+ForExec, ForNext, ConTrue, ConFalse, and the loop/branch Child-edge
+weights).  The same pipeline re-runs with the Raw-AST and Augmented-AST
+``GraphConfig`` variants to show the ablation sizes.
 
 Run with:  python examples/paragraph_construction.py
 """
@@ -14,8 +17,9 @@ import sys
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
-from repro.clang import analyze, dump, parse_snippet
-from repro.paragraph import EdgeType, GraphVariant, build_paragraph
+from repro.api import GraphConfig, GraphStage, ParseStage, Pipeline, SourceSpec
+from repro.clang import dump
+from repro.paragraph import EdgeType
 
 SNIPPETS = {
     "declaration and assignment": "int x;\nx = 50;",
@@ -24,14 +28,21 @@ SNIPPETS = {
 }
 
 
+def build(source: str, variant: str = "paragraph"):
+    """One stage-pipeline run returning (analyzed AST, program graph)."""
+    pipeline = Pipeline([ParseStage(snippet=True),
+                         GraphStage(GraphConfig(variant=variant))])
+    context = pipeline.run(specs=[SourceSpec(source=source)])
+    return context["asts"][0], context["graphs"][0]
+
+
 def describe(name: str, source: str) -> None:
     print("=" * 72)
     print(f"Snippet: {name}\n{source}\n")
-    ast = analyze(parse_snippet(source))
+    ast, graph = build(source)
     print("Clang-style AST:")
     print(dump(ast))
 
-    graph = build_paragraph(ast)
     print(f"\n{graph.summary()}")
     print("\nAugmentation edges:")
     for edge_type in EdgeType:
@@ -47,8 +58,8 @@ def describe(name: str, source: str) -> None:
             src, dst = graph.nodes[edge.src], graph.nodes[edge.dst]
             print(f"  {src.label} -> {dst.label}: weight={edge.weight:g}")
 
-    raw = build_paragraph(ast, variant=GraphVariant.RAW_AST)
-    augmented = build_paragraph(ast, variant=GraphVariant.AUGMENTED_AST)
+    _, raw = build(source, variant="raw_ast")
+    _, augmented = build(source, variant="augmented_ast")
     print(f"\nAblation sizes: Raw AST {raw.num_edges} edges, "
           f"Augmented AST {augmented.num_edges} edges, ParaGraph {graph.num_edges} edges\n")
 

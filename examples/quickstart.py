@@ -1,10 +1,12 @@
 #!/usr/bin/env python3
-"""Quickstart: the full ParaGraph pipeline on a compact dataset.
+"""Quickstart: the full ParaGraph pipeline through the ``repro.api`` session.
 
-Runs the Fig.-3 workflow end to end on two simulated accelerators (NVIDIA
-V100 and IBM POWER9): generate kernel variants, build weighted ParaGraphs,
-collect simulated runtimes, train the RGAT model with a 9:1 split, and print
-the per-platform RMSE / normalized RMSE (the Table III shape).
+Builds a :class:`~repro.api.Session` from per-stage configs (sweep, graph,
+model, training), runs the Fig.-3 workflow end to end on two simulated
+accelerators (NVIDIA V100 and IBM POWER9), prints the per-platform RMSE /
+normalized RMSE (the Table III shape), and finishes with the serving hot
+path: predicting the runtime of a freshly generated OpenMP variant with
+``session.predict``.
 
 Run with:  python examples/quickstart.py
 """
@@ -14,29 +16,34 @@ import sys
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
+from repro.advisor import VariantKind, generate_variant
+from repro.api import DataConfig, ModelConfig, ReproConfig, Session, get_kernel
 from repro.evaluation import format_table
-from repro.hardware import POWER9, V100
-from repro.kernels import get_kernel
 from repro.ml.trainer import TrainingConfig
-from repro.pipeline import SweepConfig, WorkflowConfig, run_workflow
+from repro.pipeline import SweepConfig
 
 
 def main() -> None:
-    config = WorkflowConfig(
-        sweep=SweepConfig(
-            size_scales=(0.5, 1.0),
-            team_counts=(64,),
-            thread_counts=(8, 64),
-            kernels=[get_kernel("matmul"), get_kernel("matvec"),
-                     get_kernel("laplace_sweep"), get_kernel("correlation"),
-                     get_kernel("pf_normalize")],
+    config = ReproConfig(
+        data=DataConfig(
+            sweep=SweepConfig(
+                size_scales=(0.5, 1.0),
+                team_counts=(64,),
+                thread_counts=(8, 64),
+                kernels=[get_kernel("matmul"), get_kernel("matvec"),
+                         get_kernel("laplace_sweep"), get_kernel("correlation"),
+                         get_kernel("pf_normalize")],
+            ),
+            platforms=("v100", "power9"),      # registry aliases work too
         ),
+        model=ModelConfig(hidden_dim=24),
         training=TrainingConfig(epochs=20, batch_size=16, learning_rate=2e-3, seed=0),
-        hidden_dim=24,
         seed=0,
     )
+    session = Session(config)
+
     print("Running the ParaGraph workflow (variants -> graphs -> runtimes -> GNN)...")
-    result = run_workflow(config, platforms=(V100, POWER9))
+    result = session.workflow()
 
     print("\nDataset sizes per platform:")
     for name, dataset in result.build.datasets.items():
@@ -53,6 +60,14 @@ def main() -> None:
         curve = platform_result.history.val_normalized_rmses
         print(f"\n{name}: normalized RMSE per epoch "
               f"(first -> last): {curve[0]:.3f} -> {curve[-1]:.3f}")
+
+    # the serving hot path: predict an unseen variant's runtime
+    sizes = {"N": 96, "M": 96, "K": 96}
+    variant = generate_variant(get_kernel("matmul"), VariantKind.GPU_COLLAPSE, sizes)
+    runtime_us = session.predict(variant, "v100", sizes=sizes,
+                                 num_teams=64, num_threads=64)
+    print(f"\nPredicted runtime of {variant.name} on the V100: "
+          f"{runtime_us / 1000.0:.3f} ms")
 
 
 if __name__ == "__main__":

@@ -15,9 +15,13 @@ import sys
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 from repro.advisor import ALL_VARIANTS, OpenMPAdvisor
+from repro.api import get_kernel, get_platform
 from repro.evaluation import format_table
-from repro.hardware import POWER9, V100, analytical_cost_model
-from repro.kernels import get_kernel
+from repro.hardware import analytical_cost_model
+
+# platforms resolved through the repro.api registry (aliases work)
+V100 = get_platform("v100")
+POWER9 = get_platform("power9")
 
 KERNELS = [
     ("matmul", {"N": 512, "M": 512, "K": 512}),

@@ -4,6 +4,8 @@ A from-scratch Python implementation of *ParaGraph: Weighted Graph
 Representation for Performance Optimization of HPC Kernels* (TehraniJamsaz
 et al.), including every substrate the paper depends on:
 
+* ``repro.api`` -- the composable public surface: ``Session``, staged
+  ``Pipeline`` objects, registries and the batched predict/serve facade,
 * ``repro.clang`` -- C/OpenMP frontend producing Clang-style ASTs,
 * ``repro.paragraph`` -- the weighted, typed program-graph representation,
 * ``repro.nn`` / ``repro.gnn`` -- NumPy autograd + RGAT GNN stack,
@@ -12,20 +14,39 @@ et al.), including every substrate the paper depends on:
 * ``repro.advisor`` -- kernel analysis and the six OpenMP transformations,
 * ``repro.compoff`` -- the COMPOFF baseline cost model,
 * ``repro.hardware`` -- analytical Summit/Corona accelerator simulator,
-* ``repro.pipeline`` -- the end-to-end dataset/training workflow,
+* ``repro.pipeline`` -- the legacy end-to-end workflow (thin shim over
+  ``repro.api``),
 * ``repro.evaluation`` -- drivers regenerating every table and figure.
 
 Quickstart::
 
-    from repro.pipeline import run_workflow, WorkflowConfig
-    result = run_workflow(WorkflowConfig())
+    from repro.api import ReproConfig, Session
+
+    session = Session(ReproConfig())          # per-stage configs, validated
+    result = session.workflow()               # datasets + one model/platform
     print(result.metrics_table())
+
+    # serving hot path: batched prediction with graph-construction caching
+    runtimes_us = session.predict_batch(
+        sources, platform="v100", num_teams=128, num_threads=64)
+
+Stages compose explicitly when you need only part of the workflow::
+
+    from repro.api import GraphStage, ParseStage, Pipeline, SourceSpec
+
+    graphs = Pipeline([ParseStage(), GraphStage()]).run(
+        specs=[SourceSpec(source)])["graphs"]
+
+Subpackages import lazily (PEP 562), so ``import repro`` is fast.
 """
 
-__version__ = "1.0.0"
+import importlib
 
-__all__ = [
+__version__ = "1.1.0"
+
+_SUBPACKAGES = (
     "advisor",
+    "api",
     "clang",
     "compoff",
     "evaluation",
@@ -36,4 +57,18 @@ __all__ = [
     "nn",
     "paragraph",
     "pipeline",
-]
+)
+
+__all__ = list(_SUBPACKAGES)
+
+
+def __getattr__(name):
+    if name in _SUBPACKAGES:
+        module = importlib.import_module("." + name, __name__)
+        globals()[name] = module
+        return module
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_SUBPACKAGES))

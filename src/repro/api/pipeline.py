@@ -1,0 +1,81 @@
+"""Composable stage chaining: ``Pipeline([...]).run(**inputs)``.
+
+A :class:`Pipeline` executes its stages in order over one shared
+:class:`PipelineContext` (a dict of named artifacts).  Before each stage
+runs, its declared ``requires`` keys are checked against the context and a
+:class:`PipelineError` names exactly what is missing and what is available;
+after it runs, its ``provides`` keys are verified, so stage contracts are
+enforced rather than documented.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from .stages import Stage
+
+__all__ = ["Pipeline", "PipelineContext", "PipelineError"]
+
+
+class PipelineError(RuntimeError):
+    """A stage contract was violated (missing input or unfulfilled output)."""
+
+
+class PipelineContext(dict):
+    """The named artifacts flowing through a pipeline run."""
+
+    def require(self, key: str, stage: str = "?") -> object:
+        if key not in self:
+            raise PipelineError(
+                f"stage {stage} requires {key!r} but the context only has "
+                f"{sorted(self)}")
+        return self[key]
+
+
+class Pipeline:
+    """An ordered chain of :class:`~repro.api.stages.Stage` objects."""
+
+    def __init__(self, stages: Sequence[Stage]) -> None:
+        stages = list(stages)
+        if not stages:
+            raise PipelineError("a Pipeline needs at least one stage")
+        for stage in stages:
+            if not isinstance(stage, Stage):
+                raise PipelineError(
+                    f"{stage!r} is not a Stage; pass instances such as "
+                    "ParseStage() or TrainStage(config)")
+        self.stages: List[Stage] = stages
+
+    # ------------------------------------------------------------------ #
+    def __add__(self, other: "Pipeline") -> "Pipeline":
+        """Concatenate two pipelines into one longer chain."""
+        return Pipeline(self.stages + other.stages)
+
+    def describe(self) -> str:
+        """Human-readable summary of the stage chain and its contracts."""
+        return " -> ".join(
+            f"{stage.name}({', '.join(stage.requires) or '∅'} => "
+            f"{', '.join(stage.provides) or '∅'})"
+            for stage in self.stages)
+
+    # ------------------------------------------------------------------ #
+    def run(self, **inputs) -> PipelineContext:
+        """Execute every stage; returns the final context of artifacts."""
+        context = PipelineContext(inputs)
+        for stage in self.stages:
+            missing = [key for key in stage.requires if key not in context]
+            if missing:
+                raise PipelineError(
+                    f"stage {stage.name} requires {missing} but the context "
+                    f"only has {sorted(context)}; pass the missing keys to "
+                    "Pipeline.run(...) or add a stage that provides them first")
+            stage.run(context)
+            unfulfilled = [key for key in stage.provides if key not in context]
+            if unfulfilled:
+                raise PipelineError(
+                    f"stage {stage.name} declared provides={list(stage.provides)} "
+                    f"but did not set {unfulfilled}")
+        return context
+
+    def __repr__(self) -> str:
+        return f"Pipeline([{', '.join(stage.name for stage in self.stages)}])"

@@ -1,0 +1,112 @@
+"""Dict round-tripping for :class:`~repro.api.config.ReproConfig`.
+
+A config serialized with :func:`config_to_dict` contains only JSON-safe
+values: enums become their string values, kernel definitions their registry
+names and hardware specs their platform names, so a serving deployment can
+ship configs over the wire and rebuild them with :func:`config_from_dict`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+from typing import Mapping, Optional
+
+from ..advisor.transformations import VariantKind
+from ..hardware.specs import HardwareSpec
+from ..ml.trainer import TrainingConfig
+from ..pipeline.variant_generation import SweepConfig
+from .config import DataConfig, GraphConfig, ModelConfig, ReproConfig
+from .registries import kernel_registry
+
+__all__ = ["config_from_dict", "config_to_dict", "sweep_from_dict", "sweep_to_dict"]
+
+
+def sweep_to_dict(sweep: SweepConfig) -> dict:
+    """JSON-safe form of a sweep (kernels by registry name, kinds by value)."""
+    return {
+        "size_scales": [float(scale) for scale in sweep.size_scales],
+        "team_counts": [int(teams) for teams in sweep.team_counts],
+        "thread_counts": [int(threads) for threads in sweep.thread_counts],
+        "repetitions": int(sweep.repetitions),
+        "variant_kinds": [kind.value for kind in sweep.variant_kinds],
+        "kernels": None if sweep.kernels is None
+        else [kernel.kernel_name for kernel in sweep.kernels],
+        "minimum_size": int(sweep.minimum_size),
+    }
+
+
+def sweep_from_dict(payload: Optional[Mapping]) -> SweepConfig:
+    """Rebuild a :class:`SweepConfig`; kernel names resolve via the registry."""
+    payload = dict(payload or {})
+    sweep = SweepConfig()
+    if "size_scales" in payload:
+        sweep.size_scales = tuple(float(scale) for scale in payload["size_scales"])
+    if "team_counts" in payload:
+        sweep.team_counts = tuple(int(teams) for teams in payload["team_counts"])
+    if "thread_counts" in payload:
+        sweep.thread_counts = tuple(int(threads) for threads in payload["thread_counts"])
+    if "repetitions" in payload:
+        sweep.repetitions = int(payload["repetitions"])
+    if "variant_kinds" in payload:
+        sweep.variant_kinds = tuple(
+            kind if isinstance(kind, VariantKind) else VariantKind(kind)
+            for kind in payload["variant_kinds"])
+    if "kernels" in payload:
+        names = payload["kernels"]
+        sweep.kernels = None if names is None else [
+            kernel if not isinstance(kernel, str) else kernel_registry.get(kernel)
+            for kernel in names]
+    if "minimum_size" in payload:
+        sweep.minimum_size = int(payload["minimum_size"])
+    return sweep
+
+
+def _platform_name(platform) -> str:
+    """Canonical platform name (aliases like ``v100`` serialize canonically)."""
+    from .registries import resolve_platform
+    if isinstance(platform, HardwareSpec):
+        return platform.name
+    return resolve_platform(platform).name
+
+
+def config_to_dict(config: ReproConfig) -> dict:
+    """See :meth:`ReproConfig.to_dict`."""
+    return {
+        "data": {
+            "sweep": sweep_to_dict(config.data.sweep),
+            "platforms": [_platform_name(p) for p in config.data.platforms],
+            "noisy_runtimes": bool(config.data.noisy_runtimes),
+            "min_platform_samples": int(config.data.min_platform_samples),
+        },
+        "graph": {
+            "variant": config.graph.variant.value,
+            "default_trip_count": int(config.graph.default_trip_count),
+            "include_terminal_flag": bool(config.graph.include_terminal_flag),
+            "log_scale_weights": bool(config.graph.log_scale_weights),
+        },
+        "model": asdict(config.model),
+        "training": asdict(config.training),
+        "train_fraction": float(config.train_fraction),
+        "seed": int(config.seed),
+    }
+
+
+def config_from_dict(payload: Mapping) -> ReproConfig:
+    """See :meth:`ReproConfig.from_dict`."""
+    if not isinstance(payload, Mapping):
+        raise TypeError(f"expected a mapping, got {type(payload).__name__}")
+    payload = dict(payload)
+    data_payload = dict(payload.get("data") or {})
+    if "sweep" in data_payload:
+        data_payload["sweep"] = sweep_from_dict(data_payload["sweep"])
+    if "platforms" in data_payload:
+        data_payload["platforms"] = tuple(data_payload["platforms"])
+    defaults = ReproConfig()
+    return ReproConfig(
+        data=DataConfig(**data_payload) if data_payload else defaults.data,
+        graph=GraphConfig(**(payload.get("graph") or {})),
+        model=ModelConfig(**(payload.get("model") or {})),
+        training=TrainingConfig(**(payload.get("training") or {})),
+        train_fraction=float(payload.get("train_fraction", 0.9)),
+        seed=int(payload.get("seed", 0)),
+    )

@@ -1,0 +1,234 @@
+"""The :class:`Session` facade: train once, predict many times.
+
+A session owns one :class:`~repro.api.config.ReproConfig`, lazily builds the
+per-platform datasets and trained models through the stage pipeline, and
+exposes the hot path a serving tier calls:
+:meth:`Session.predict_batch` — batched source→runtime prediction with an
+LRU cache over graph construction (parse + analyze + build + encode), which
+dominates the cost of a single prediction.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..hardware.specs import HardwareSpec
+from ..ml.trainer import Trainer
+from ..paragraph.encoders import EncodedGraph
+from ..pipeline.dataset_builder import DatasetBuildResult
+from ..pipeline.workflow import PlatformResult, WorkflowResult
+from .config import ReproConfig
+from .pipeline import Pipeline
+from .registries import resolve_platform
+from .stages import (
+    DatasetStage,
+    EncodeStage,
+    GraphStage,
+    ParseStage,
+    PredictStage,
+    SourceSpec,
+    TrainStage,
+)
+
+__all__ = ["CacheInfo", "Session"]
+
+
+class CacheInfo(NamedTuple):
+    """Hit/miss statistics of the session's graph-construction cache."""
+
+    hits: int
+    misses: int
+    size: int
+    capacity: int
+
+
+class _GraphCache:
+    """A small LRU cache from source-spec keys to encoded graphs."""
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = max(int(capacity), 0)
+        self._entries: "OrderedDict[tuple, EncodedGraph]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: tuple) -> Optional[EncodedGraph]:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: tuple, value: EncodedGraph) -> None:
+        if self.capacity == 0:
+            return
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def info(self) -> CacheInfo:
+        return CacheInfo(hits=self.hits, misses=self.misses,
+                         size=len(self._entries), capacity=self.capacity)
+
+
+class Session:
+    """One configured instance of the whole system (Fig. 3 as an object).
+
+    Dataset building and training are lazy and memoized: the first call to
+    :meth:`train` / :meth:`workflow` / :meth:`predict_batch` pays for them,
+    later calls reuse the results.
+
+    Parameters
+    ----------
+    config:
+        The :class:`ReproConfig`; defaults reproduce the paper's setup.
+    graph_cache_size:
+        Capacity of the LRU graph-construction cache used by the predict
+        facade (0 disables caching).
+    """
+
+    def __init__(self, config: Optional[ReproConfig] = None,
+                 graph_cache_size: int = 256) -> None:
+        self.config = config or ReproConfig()
+        self.encoder = self.config.make_encoder()
+        self._cache = _GraphCache(graph_cache_size)
+        self._build: Optional[DatasetBuildResult] = None
+        self._platform_results: Optional[Dict[str, PlatformResult]] = None
+
+    # ------------------------------------------------------------------ #
+    @property
+    def platforms(self) -> Tuple[HardwareSpec, ...]:
+        """The resolved target platforms, in configured order."""
+        return self.config.platform_specs()
+
+    # ------------------------------------------------------------------ #
+    # training side
+    # ------------------------------------------------------------------ #
+    def build_dataset(self) -> DatasetBuildResult:
+        """Build (once) the per-platform datasets of the configured sweep."""
+        if self._build is None:
+            context = Pipeline([DatasetStage(self.config, encoder=self.encoder)]).run()
+            self._build = context["build"]
+        return self._build
+
+    def train(self) -> Dict[str, PlatformResult]:
+        """Train (once) one model per platform; returns the per-platform results."""
+        if self._platform_results is None:
+            if self._build is None:
+                context = Pipeline([DatasetStage(self.config, encoder=self.encoder),
+                                    TrainStage(self.config)]).run()
+                self._build = context["build"]
+            else:
+                context = Pipeline([TrainStage(self.config)]).run(
+                    build=self._build, encoder=self.encoder)
+            self._platform_results = context["platform_results"]
+        return self._platform_results
+
+    def workflow(self) -> WorkflowResult:
+        """The legacy one-call result shape (datasets + trained platforms)."""
+        platform_results = self.train()
+        assert self._build is not None
+        return WorkflowResult(build=self._build, platforms=platform_results)
+
+    def trainer_for(self, platform) -> Trainer:
+        """The trained :class:`Trainer` for *platform* (name, alias or spec)."""
+        spec = resolve_platform(platform)
+        results = self.train()
+        if spec.name not in results:
+            raise KeyError(
+                f"no trained model for platform {spec.name!r}; trained platforms: "
+                f"{sorted(results)} (is it in config.data.platforms, and did its "
+                "dataset reach config.data.min_platform_samples samples?)")
+        return results[spec.name].trainer
+
+    # ------------------------------------------------------------------ #
+    # serving side
+    # ------------------------------------------------------------------ #
+    def _cache_key(self, spec: SourceSpec, snippet: bool) -> tuple:
+        return (
+            spec.source,
+            tuple(sorted((str(k), int(v)) for k, v in spec.sizes.items())),
+            int(spec.num_teams),
+            int(spec.num_threads),
+            self.config.graph.variant.value,
+            bool(snippet),
+        )
+
+    def encode_source(self, source, sizes=None, num_teams: int = 1,
+                      num_threads: int = 1, snippet: bool = False) -> EncodedGraph:
+        """Parse/build/encode one source, going through the LRU cache."""
+        spec = SourceSpec.of(source, sizes=sizes, num_teams=num_teams,
+                             num_threads=num_threads)
+        return self._encode_specs([spec], snippet=snippet)[0]
+
+    def _encode_specs(self, specs: Sequence[SourceSpec],
+                      snippet: bool = False) -> List[EncodedGraph]:
+        encoded: List[Optional[EncodedGraph]] = [None] * len(specs)
+        # deduplicate by cache key so repeated sources in one cold batch pay
+        # for a single graph construction
+        misses: "OrderedDict[tuple, List[int]]" = OrderedDict()
+        miss_specs: Dict[tuple, SourceSpec] = {}
+        for index, spec in enumerate(specs):
+            key = self._cache_key(spec, snippet)
+            hit = self._cache.get(key)
+            if hit is not None:
+                encoded[index] = hit
+            else:
+                misses.setdefault(key, []).append(index)
+                miss_specs.setdefault(key, spec)
+        if misses:
+            pipeline = Pipeline([
+                ParseStage(snippet=snippet),
+                GraphStage(self.config.graph),
+                EncodeStage(self.encoder),
+            ])
+            context = pipeline.run(specs=[miss_specs[key] for key in misses])
+            for (key, indices), graph in zip(misses.items(), context["encoded"]):
+                self._cache.put(key, graph)
+                for index in indices:
+                    encoded[index] = graph
+        return encoded  # type: ignore[return-value]
+
+    def predict_batch(self, sources: Sequence, platform, *,
+                      sizes=None, num_teams: int = 64, num_threads: int = 64,
+                      snippet: bool = False) -> np.ndarray:
+        """Predict runtimes (µs) for a batch of sources on one platform.
+
+        ``sources`` may mix raw C strings, :class:`SourceSpec` objects and
+        kernel variants (anything with a ``.source``).  Shared ``sizes`` /
+        ``num_teams`` / ``num_threads`` apply to entries that don't carry
+        their own.  Graph construction is cached per session, so repeated
+        sources only pay for one batched GNN forward pass.
+        """
+        specs = [SourceSpec.of(source, sizes=sizes, num_teams=num_teams,
+                               num_threads=num_threads) for source in sources]
+        if not specs:
+            return np.zeros(0)
+        trainer = self.trainer_for(platform)
+        encoded = self._encode_specs(specs, snippet=snippet)
+        context = Pipeline([PredictStage()]).run(encoded=encoded, trainer=trainer)
+        return context["predictions"]
+
+    def predict(self, source, platform, *, sizes=None, num_teams: int = 64,
+                num_threads: int = 64, snippet: bool = False) -> float:
+        """Predict the runtime (µs) of a single source on one platform."""
+        return float(self.predict_batch(
+            [source], platform, sizes=sizes, num_teams=num_teams,
+            num_threads=num_threads, snippet=snippet)[0])
+
+    # ------------------------------------------------------------------ #
+    def cache_info(self) -> CacheInfo:
+        """Hit/miss statistics of the graph-construction cache."""
+        return self._cache.info()
+
+    def clear_cache(self) -> None:
+        """Drop every cached encoded graph (hit/miss counters are kept)."""
+        self._cache.clear()

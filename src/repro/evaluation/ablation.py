@@ -14,13 +14,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from ..api.config import DataConfig, GraphConfig, ModelConfig, ReproConfig
+from ..api.pipeline import Pipeline
+from ..api.stages import DatasetStage, TrainStage
 from ..hardware.specs import ALL_PLATFORMS, HardwareSpec, MI50
 from ..ml.trainer import History, TrainingConfig
-from ..paragraph.encoders import GraphEncoder
 from ..paragraph.variants import ABLATION_ORDER, GraphVariant
-from ..pipeline.dataset_builder import DatasetBuilder
 from ..pipeline.variant_generation import SweepConfig, generate_configurations
-from ..pipeline.workflow import PlatformResult, WorkflowConfig, train_on_dataset
+from ..pipeline.workflow import PlatformResult
 
 
 @dataclass
@@ -71,25 +72,17 @@ def run_ablation(
     configurations = generate_configurations(sweep)
     result = AblationResult()
     for graph_variant in variants:
-        encoder = GraphEncoder()
-        builder = DatasetBuilder(platforms=platforms, graph_variant=graph_variant,
-                                 encoder=encoder)
-        build = builder.build(configurations=configurations)
-        workflow_config = WorkflowConfig(
-            sweep=sweep,
-            graph_variant=graph_variant,
+        config = ReproConfig(
+            data=DataConfig(sweep=sweep, platforms=tuple(platforms)),
+            graph=GraphConfig(variant=graph_variant),
+            model=ModelConfig(hidden_dim=hidden_dim),
             training=training,
-            hidden_dim=hidden_dim,
             seed=seed,
         )
-        by_platform: Dict[str, PlatformResult] = {}
-        for platform in platforms:
-            dataset = build.datasets[platform.name]
-            if len(dataset) < 4:
-                continue
-            by_platform[platform.name] = train_on_dataset(
-                dataset, encoder, workflow_config, platform)
-        result.results[graph_variant.value] = by_platform
+        # the shared configurations keep all variants on identical labels
+        context = Pipeline([DatasetStage(config), TrainStage(config)]).run(
+            configurations=configurations)
+        result.results[graph_variant.value] = context["platform_results"]
     return result
 
 

@@ -17,9 +17,9 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..api.config import ModelConfig
 from ..compoff.features import FeatureSample, extract_features
 from ..compoff.model import COMPOFFConfig, COMPOFFModel
-from ..gnn.models import ParaGraphModel
 from ..hardware.specs import HardwareSpec, V100
 from ..ml import metrics as M
 from ..ml.dataset import GraphDataset
@@ -122,9 +122,9 @@ def run_comparison(
     train_features = [encode_compoff(i) for i in train_idx]
     val_features = [encode_compoff(i) for i in val_idx]
 
-    # ParaGraph model
-    model = ParaGraphModel(node_feature_dim=encoder.feature_dim,
-                           hidden_dim=hidden_dim, seed=seed)
+    # ParaGraph model (architecture resolved through the api registry)
+    model = ModelConfig(hidden_dim=hidden_dim).build(
+        node_feature_dim=encoder.feature_dim, use_edge_weight=True, seed=seed)
     trainer = Trainer(model, training)
     trainer.fit(train_graphs, val_graphs)
     paragraph_predictions = trainer.predict(val_graphs)

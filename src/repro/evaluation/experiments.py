@@ -14,16 +14,13 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ..api.config import DataConfig, ModelConfig, ReproConfig
+from ..api.session import Session
 from ..hardware.specs import ALL_PLATFORMS, HardwareSpec
 from ..ml import metrics as M
 from ..pipeline.dataset_builder import table2_statistics
 from ..pipeline.variant_generation import SweepConfig
-from ..pipeline.workflow import (
-    PlatformResult,
-    WorkflowConfig,
-    WorkflowResult,
-    run_workflow,
-)
+from ..pipeline.workflow import PlatformResult, WorkflowResult
 
 
 # --------------------------------------------------------------------- #
@@ -139,11 +136,11 @@ def run_main_experiment(
     scale = scale or ExperimentScale.small()
     from ..ml.trainer import TrainingConfig
 
-    config = WorkflowConfig(
-        sweep=scale.sweep,
+    config = ReproConfig(
+        data=DataConfig(sweep=scale.sweep, platforms=tuple(platforms)),
+        model=ModelConfig(hidden_dim=scale.hidden_dim),
         training=TrainingConfig(epochs=scale.epochs, batch_size=32,
                                 learning_rate=3e-3, seed=scale.seed),
-        hidden_dim=scale.hidden_dim,
         seed=scale.seed,
     )
-    return run_workflow(config, platforms)
+    return Session(config).workflow()

@@ -19,6 +19,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from ..api.registries import conv_registry, register_conv
 from ..nn import functional as F
 from ..nn.layers import Dropout, Linear
 from ..nn.module import Module
@@ -29,6 +30,29 @@ from .gat import GATConv
 from .pooling import global_mean_max_pool, global_mean_pool, global_sum_pool
 from .rgat import RGATConv
 from .rgcn import RGCNConv
+
+
+# --------------------------------------------------------------------- #
+# convolution registry: every factory takes the same keyword signature so
+# model-selection code can treat the kinds uniformly (repro.api.register_conv
+# adds new kinds without touching this module).
+# --------------------------------------------------------------------- #
+@register_conv("rgat")
+def _make_rgat(in_dim, hidden_dim, *, num_relations, heads, use_edge_weight, rng):
+    return RGATConv(in_dim, hidden_dim, num_relations, heads=heads,
+                    use_edge_weight=use_edge_weight, rng=rng)
+
+
+@register_conv("rgcn")
+def _make_rgcn(in_dim, hidden_dim, *, num_relations, heads, use_edge_weight, rng):
+    return RGCNConv(in_dim, hidden_dim, num_relations,
+                    use_edge_weight=use_edge_weight, rng=rng)
+
+
+@register_conv("gat")
+def _make_gat(in_dim, hidden_dim, *, num_relations, heads, use_edge_weight, rng):
+    return GATConv(in_dim, hidden_dim, heads=heads,
+                   use_edge_weight=use_edge_weight, rng=rng)
 
 
 class ParaGraphModel(Module):
@@ -50,7 +74,8 @@ class ParaGraphModel(Module):
         Widths of the fully-connected layers applied after concatenation.
     conv:
         Which relational convolution to use: ``"rgat"`` (paper), ``"rgcn"``
-        or ``"gat"`` (design-ablation alternatives).
+        or ``"gat"`` (design-ablation alternatives), or any kind added with
+        :func:`repro.api.register_conv`.
     use_edge_weight:
         Forwarded to the convolution layers; switching it off turns the model
         into the Augmented-AST ablation even when weights are present.
@@ -85,17 +110,14 @@ class ParaGraphModel(Module):
         self.num_relations = num_relations
         self.conv_kind = conv
 
+        if conv not in conv_registry:
+            raise ValueError(f"unknown convolution kind {conv!r}; "
+                             f"registered kinds: {conv_registry.keys()}")
+        factory = conv_registry.get(conv)
+
         def make_conv(in_dim: int) -> Module:
-            if conv == "rgat":
-                return RGATConv(in_dim, hidden_dim, num_relations, heads=heads,
-                                use_edge_weight=use_edge_weight, rng=rng)
-            if conv == "rgcn":
-                return RGCNConv(in_dim, hidden_dim, num_relations,
-                                use_edge_weight=use_edge_weight, rng=rng)
-            if conv == "gat":
-                return GATConv(in_dim, hidden_dim, heads=heads,
-                               use_edge_weight=use_edge_weight, rng=rng)
-            raise ValueError(f"unknown convolution kind {conv!r}")
+            return factory(in_dim, hidden_dim, num_relations=num_relations,
+                           heads=heads, use_edge_weight=use_edge_weight, rng=rng)
 
         self.convs = []
         in_dim = node_feature_dim

@@ -42,6 +42,7 @@ class DatasetBuilder:
         encoder: Optional[GraphEncoder] = None,
         noisy: bool = True,
         failure_filters: Optional[Dict[str, Callable[[Configuration], bool]]] = None,
+        default_trip_count: int = 16,
     ) -> None:
         """``failure_filters`` maps a platform name to a drop predicate (e.g.
         dropping Laplace on the MI50, as happened in the paper)."""
@@ -50,6 +51,7 @@ class DatasetBuilder:
         self.encoder = encoder or GraphEncoder()
         self.noisy = noisy
         self.failure_filters = dict(failure_filters or {})
+        self.default_trip_count = default_trip_count
 
     # ------------------------------------------------------------------ #
     def build(self, sweep: Optional[SweepConfig] = None,
@@ -74,6 +76,7 @@ class DatasetBuilder:
                     measurement.runtime_us,
                     graph_variant=self.graph_variant,
                     platform_name=platform.name,
+                    default_trip_count=self.default_trip_count,
                 )
                 dataset.add(sample)
             datasets[platform.name] = dataset

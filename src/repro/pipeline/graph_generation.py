@@ -48,9 +48,11 @@ def encode_configuration(
     runtime_us: float,
     graph_variant: GraphVariant = GraphVariant.PARAGRAPH,
     platform_name: str = "",
+    default_trip_count: int = 16,
 ) -> EncodedGraph:
     """Full graph-side preparation of one dataset sample."""
-    graph = generate_paragraph(configuration, graph_variant)
+    graph = generate_paragraph(configuration, graph_variant,
+                               default_trip_count=default_trip_count)
     metadata = configuration.metadata
     if platform_name:
         metadata["platform"] = platform_name

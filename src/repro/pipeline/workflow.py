@@ -1,17 +1,17 @@
 """End-to-end workflow (Fig. 3): variants → graphs → runtimes → GNN training.
 
-:func:`run_workflow` is the single call the quickstart example and the
-benchmark harness use: build the per-platform datasets, train one ParaGraph
-model per platform with a 9:1 split, and return the trained trainers,
-histories and evaluation metrics.
+.. deprecated::
+    :func:`run_workflow` is kept as a thin back-compat shim over the
+    composable session layer; new code should use
+    ``repro.api.Session(ReproConfig(...)).workflow()`` instead, which exposes
+    the same per-platform results plus batched prediction and caching.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Sequence
-
-import numpy as np
 
 from ..gnn.models import ParaGraphModel
 from ..hardware.specs import ALL_PLATFORMS, HardwareSpec
@@ -20,7 +20,7 @@ from ..ml.split import train_val_split
 from ..ml.trainer import History, Trainer, TrainingConfig
 from ..paragraph.encoders import GraphEncoder
 from ..paragraph.variants import GraphVariant
-from .dataset_builder import DatasetBuilder, DatasetBuildResult
+from .dataset_builder import DatasetBuildResult
 from .variant_generation import SweepConfig
 
 
@@ -39,7 +39,12 @@ class PlatformResult:
 
 @dataclass
 class WorkflowConfig:
-    """Configuration of the end-to-end run."""
+    """Configuration of the end-to-end run (legacy shape).
+
+    New code should prefer :class:`repro.api.ReproConfig`, which splits the
+    same knobs per stage; ``ReproConfig.from_workflow_config`` adapts this
+    class losslessly.
+    """
 
     sweep: SweepConfig = field(default_factory=SweepConfig)
     graph_variant: GraphVariant = GraphVariant.PARAGRAPH
@@ -49,6 +54,15 @@ class WorkflowConfig:
     seed: int = 0
     train_fraction: float = 0.9
     noisy_runtimes: bool = True
+
+    def __post_init__(self) -> None:
+        from ..api.config import _check_conv, _check_train_fraction, coerce_graph_variant
+
+        self.graph_variant = coerce_graph_variant(self.graph_variant)
+        _check_train_fraction(self.train_fraction)
+        _check_conv(self.conv)
+        if self.hidden_dim < 1:
+            raise ValueError(f"hidden_dim must be >= 1, got {self.hidden_dim}")
 
 
 @dataclass
@@ -96,20 +110,19 @@ def run_workflow(
     config: Optional[WorkflowConfig] = None,
     platforms: Sequence[HardwareSpec] = ALL_PLATFORMS,
 ) -> WorkflowResult:
-    """Run the full pipeline on the given platforms."""
-    config = config or WorkflowConfig()
-    encoder = GraphEncoder()
-    builder = DatasetBuilder(
-        platforms=platforms,
-        graph_variant=config.graph_variant,
-        encoder=encoder,
-        noisy=config.noisy_runtimes,
-    )
-    build = builder.build(config.sweep)
-    results: Dict[str, PlatformResult] = {}
-    for platform in platforms:
-        dataset = build.datasets[platform.name]
-        if len(dataset) < 4:
-            continue
-        results[platform.name] = train_on_dataset(dataset, encoder, config, platform)
-    return WorkflowResult(build=build, platforms=results)
+    """Run the full pipeline on the given platforms.
+
+    .. deprecated::
+        Thin shim over the session layer; use
+        ``repro.api.Session(ReproConfig(...)).workflow()`` instead.
+    """
+    warnings.warn(
+        "run_workflow is deprecated; use repro.api.Session(...).workflow() "
+        "(see repro.api.ReproConfig.from_workflow_config for a direct adapter)",
+        DeprecationWarning, stacklevel=2)
+    from ..api.config import ReproConfig
+    from ..api.session import Session
+
+    session = Session(ReproConfig.from_workflow_config(
+        config or WorkflowConfig(), platforms))
+    return session.workflow()
