@@ -1,10 +1,15 @@
-"""Persistence helper for the benchmark harness.
+"""Persistence helpers for the benchmark harness.
 
 pytest captures the stdout of passing tests, so every benchmark also appends
 its regenerated table/figure to ``benchmarks/results.txt`` via :func:`report`;
 EXPERIMENTS.md references that file for the measured numbers.
+
+Performance benchmarks additionally persist machine-readable numbers with
+:func:`report_json` (``benchmarks/BENCH_<tag>.json``), so CI jobs and later
+PRs can diff timings without parsing the text report.
 """
 
+import json
 import os
 
 RESULTS_PATH = os.path.join(os.path.dirname(__file__), "results.txt")
@@ -23,3 +28,16 @@ def report(text: str) -> None:
     print(text)
     with open(RESULTS_PATH, "a", encoding="utf-8") as handle:
         handle.write(text + "\n\n")
+
+
+def report_json(filename: str, payload: dict) -> str:
+    """Write *payload* as pretty JSON next to results.txt; returns the path.
+
+    ``filename`` is conventionally ``BENCH_<tag>.json`` (e.g. ``BENCH_pr2.json``
+    for the GNN-forward micro-benchmark).
+    """
+    path = os.path.join(os.path.dirname(__file__), filename)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path

@@ -6,6 +6,13 @@ exposes the hot path a serving tier calls:
 :meth:`Session.predict_batch` — batched source→runtime prediction with an
 LRU cache over graph construction (parse + analyze + build + encode), which
 dominates the cost of a single prediction.
+
+Warm predictions additionally run the GNN inference fast path: the model's
+relational kernels consume a content-addressed cached edge layout (sorted
+once per distinct graph — see :mod:`repro.gnn.edge_layout`), record no
+autodiff graph, and default to float32 arithmetic (``dtype=None`` restores
+float64 training parity).  ``benchmarks/test_perf_gnn_forward.py`` measures
+the forward-pass speedup and writes ``benchmarks/BENCH_pr2.json``.
 """
 
 from __future__ import annotations
@@ -199,7 +206,7 @@ class Session:
 
     def predict_batch(self, sources: Sequence, platform, *,
                       sizes=None, num_teams: int = 64, num_threads: int = 64,
-                      snippet: bool = False) -> np.ndarray:
+                      snippet: bool = False, dtype=np.float32) -> np.ndarray:
         """Predict runtimes (µs) for a batch of sources on one platform.
 
         ``sources`` may mix raw C strings, :class:`SourceSpec` objects and
@@ -207,6 +214,17 @@ class Session:
         ``num_teams`` / ``num_threads`` apply to entries that don't carry
         their own.  Graph construction is cached per session, so repeated
         sources only pay for one batched GNN forward pass.
+
+        The GNN forward runs on the inference fast path: vectorized
+        relational kernels over a cached edge layout, no autodiff graph
+        (``repro.nn.no_grad``), and — by default — float32 arithmetic.
+        Pass ``dtype=None`` for full float64 parity with training-time
+        evaluation (predictions differ by well under one part in 1e-4).
+
+        Not thread-safe: the fast path toggles process-global engine state
+        (``repro.nn.Tensor.inference``, the default dtype, and temporarily
+        cast parameter views), so concurrent serving needs one session —
+        and one model — per worker, or an external lock around this call.
         """
         specs = [SourceSpec.of(source, sizes=sizes, num_teams=num_teams,
                                num_threads=num_threads) for source in sources]
@@ -214,15 +232,17 @@ class Session:
             return np.zeros(0)
         trainer = self.trainer_for(platform)
         encoded = self._encode_specs(specs, snippet=snippet)
-        context = Pipeline([PredictStage()]).run(encoded=encoded, trainer=trainer)
+        context = Pipeline([PredictStage(dtype=dtype)]).run(encoded=encoded,
+                                                            trainer=trainer)
         return context["predictions"]
 
     def predict(self, source, platform, *, sizes=None, num_teams: int = 64,
-                num_threads: int = 64, snippet: bool = False) -> float:
+                num_threads: int = 64, snippet: bool = False,
+                dtype=np.float32) -> float:
         """Predict the runtime (µs) of a single source on one platform."""
         return float(self.predict_batch(
             [source], platform, sizes=sizes, num_teams=num_teams,
-            num_threads=num_threads, snippet=snippet)[0])
+            num_threads=num_threads, snippet=snippet, dtype=dtype)[0])
 
     # ------------------------------------------------------------------ #
     def cache_info(self) -> CacheInfo:

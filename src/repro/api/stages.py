@@ -235,11 +235,20 @@ class TrainStage(Stage):
 
 
 class PredictStage(Stage):
-    """``encoded`` + ``trainer`` → ``predictions`` (runtimes in µs)."""
+    """``encoded`` + ``trainer`` → ``predictions`` (runtimes in µs).
+
+    *dtype* selects the forward-pass precision: ``None`` keeps float64
+    parity with training-time evaluation, ``numpy.float32`` runs the serving
+    fast path (no autodiff graph, float32 kernels) — see
+    :meth:`repro.ml.trainer.Trainer.predict`.
+    """
 
     requires = ("encoded", "trainer")
     provides = ("predictions",)
 
+    def __init__(self, dtype=None) -> None:
+        self.dtype = dtype
+
     def run(self, context) -> None:
         dataset = GraphDataset(list(context["encoded"]), name="predict")
-        context["predictions"] = context["trainer"].predict(dataset)
+        context["predictions"] = context["trainer"].predict(dataset, dtype=self.dtype)

@@ -20,7 +20,7 @@ from ..ml.scaler import LogMinMaxScaler, MinMaxScaler
 from ..nn.layers import MLP
 from ..nn.losses import MSELoss
 from ..nn.optim import Adam
-from ..nn.tensor import Tensor
+from ..nn.tensor import Tensor, no_grad
 from .features import NUM_FEATURES, FeatureSample, build_feature_matrix, build_target_vector
 
 
@@ -91,7 +91,8 @@ class COMPOFFModel:
         features = self.feature_scaler.transform(build_feature_matrix(samples))
         self.network.eval()
         try:
-            scaled = self.network(Tensor(features)).reshape(-1).data
+            with no_grad():
+                scaled = self.network(Tensor(features)).reshape(-1).data
         finally:
             self.network.train()
         scaled = np.clip(scaled, 0.0, 1.0)

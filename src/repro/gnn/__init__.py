@@ -3,10 +3,28 @@
 Substitute for PyTorch-Geometric: relational graph attention (RGAT), RGCN
 and GAT convolutions, global pooling readouts, and the full
 :class:`ParaGraphModel` (3×RGAT + auxiliary-feature branch + FC head).
+
+The relational convolutions are vectorized over relations via the cached
+:class:`RelationalEdgeLayout` (relation-bucketed CSR-style edge layout,
+validated and sorted once per distinct graph), and ``RGATConv`` additionally
+carries a fused pure-NumPy kernel that serves ``no_grad`` forwards; the seed
+per-relation-loop implementations survive as ``forward_reference`` for the
+parity regression tests and ``benchmarks/test_perf_gnn_forward.py``.
 """
 
+from .edge_layout import (
+    EdgeLayoutCache,
+    RelationalEdgeLayout,
+    edge_layout_cache_info,
+    get_edge_layout,
+)
 from .gat import GATConv
-from .message_passing import MessagePassing, add_self_loops, validate_edge_index
+from .message_passing import (
+    MessagePassing,
+    add_self_loops,
+    cached_add_self_loops,
+    validate_edge_index,
+)
 from .models import COMPOFFStyleMLP, ParaGraphModel
 from .pooling import (
     global_max_pool,
@@ -19,12 +37,17 @@ from .rgcn import RGCNConv
 
 __all__ = [
     "COMPOFFStyleMLP",
+    "EdgeLayoutCache",
     "GATConv",
     "MessagePassing",
     "ParaGraphModel",
     "RGATConv",
     "RGCNConv",
+    "RelationalEdgeLayout",
     "add_self_loops",
+    "cached_add_self_loops",
+    "edge_layout_cache_info",
+    "get_edge_layout",
     "global_max_pool",
     "global_mean_max_pool",
     "global_mean_pool",

@@ -43,13 +43,18 @@ class GATConv(MessagePassing):
     def output_dim(self) -> int:
         return self.inner.output_dim
 
+    accepts_layout = True
+
     def forward(
         self,
         x: Tensor,
         edge_index: np.ndarray,
         edge_type: Optional[np.ndarray] = None,
         edge_weight: Optional[np.ndarray] = None,
+        layout=None,
     ) -> Tensor:
+        # a multi-relation *layout* does not apply to the single-relation
+        # inner conv — it rebuilds (and caches) its own collapsed layout
         num_edges = np.asarray(edge_index).shape[1]
         return self.inner(x, edge_index,
                           edge_type=np.zeros(num_edges, dtype=np.int64),

@@ -22,10 +22,11 @@ import numpy as np
 from ..api.registries import conv_registry, register_conv
 from ..nn import functional as F
 from ..nn.layers import Dropout, Linear
-from ..nn.module import Module
-from ..nn.tensor import Tensor, concatenate
+from ..nn.module import Module, parameters_as
+from ..nn.tensor import Tensor, concatenate, default_dtype, no_grad
 from ..paragraph.encoders import GraphBatch
 from ..paragraph.edges import NUM_EDGE_TYPES
+from .edge_layout import get_edge_layout
 from .gat import GATConv
 from .pooling import global_mean_max_pool, global_mean_pool, global_sum_pool
 from .rgat import RGATConv
@@ -147,10 +148,18 @@ class ParaGraphModel(Module):
     def encode_graphs(self, batch: GraphBatch) -> Tensor:
         """Return the pooled per-graph embedding (before the head layers)."""
         x = Tensor(batch.node_features)
+        # relation-bucketed edge layout: built (or fetched from the content-
+        # addressed cache) once per forward and shared by every conv layer,
+        # so sorting + validation never repeat across the 3-layer stack
+        layout = get_edge_layout(batch.edge_index, batch.edge_type,
+                                 int(batch.node_features.shape[0]),
+                                 self.num_relations)
         for conv_layer in self.convs:
+            kwargs = {"layout": layout} if getattr(conv_layer, "accepts_layout",
+                                                   False) else {}
             x = F.relu(conv_layer(x, batch.edge_index,
                                   edge_type=batch.edge_type,
-                                  edge_weight=batch.edge_weight))
+                                  edge_weight=batch.edge_weight, **kwargs))
             if self.dropout is not None:
                 x = self.dropout(x)
         if self.readout == "sum":
@@ -169,12 +178,22 @@ class ParaGraphModel(Module):
         prediction = self.out_fc(joined)
         return prediction.reshape(-1)
 
-    def predict(self, batch: GraphBatch) -> np.ndarray:
-        """Inference helper returning a plain NumPy array."""
+    def predict(self, batch: GraphBatch, dtype=None) -> np.ndarray:
+        """Inference helper returning a plain NumPy array.
+
+        Runs under :func:`repro.nn.no_grad` — no autodiff graph is recorded —
+        and, when *dtype* is given (e.g. ``np.float32`` for serving), casts
+        parameters and activations to it for the duration of the forward
+        pass; ``dtype=None`` keeps full float64 training parity.
+        """
         was_training = self.training
         self.eval()
         try:
-            return self.forward(batch).data.copy()
+            with no_grad():
+                if dtype is None:
+                    return self.forward(batch).data.copy()
+                with default_dtype(dtype), parameters_as(self, dtype):
+                    return self.forward(batch).data.copy()
         finally:
             self.train(was_training)
 

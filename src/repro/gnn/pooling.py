@@ -1,6 +1,15 @@
-"""Graph-level pooling: reduce per-node embeddings to one vector per graph."""
+"""Graph-level pooling: reduce per-node embeddings to one vector per graph.
+
+The ``batch`` vector produced by :meth:`GraphEncoder.collate` is sorted
+(block-diagonal batching), which the pools exploit: per-graph reductions run
+as contiguous ``reduceat`` segments instead of unbuffered ``ufunc.at``
+scatters, and at inference time ``global_max_pool`` skips its
+gradient-routing tie machinery entirely.
+"""
 
 from __future__ import annotations
+
+from typing import Optional
 
 import numpy as np
 
@@ -8,24 +17,57 @@ from ..nn import functional as F
 from ..nn.tensor import Tensor, concatenate
 
 
+def _sorted_segment_reduce(data: np.ndarray, batch: np.ndarray,
+                           num_graphs: int, ufunc, fill: float) -> Optional[np.ndarray]:
+    """Per-graph *ufunc* reduction for a sorted ``batch`` vector, or ``None``
+    when ``batch`` is unsorted (caller falls back to a scatter)."""
+    if batch.size == 0 or np.any(batch[1:] < batch[:-1]):
+        return None
+    starts = np.concatenate([[0], np.flatnonzero(np.diff(batch)) + 1])
+    out = np.full((num_graphs, data.shape[1]), fill, dtype=data.dtype)
+    out[batch[starts]] = ufunc.reduceat(data, starts, axis=0)
+    return out
+
+
 def global_mean_pool(x: Tensor, batch: np.ndarray, num_graphs: int) -> Tensor:
     """Average node embeddings per graph (the paper's readout)."""
-    return F.segment_mean(x, np.asarray(batch, dtype=np.int64), num_graphs)
+    batch = np.asarray(batch, dtype=np.int64)
+    if Tensor.inference or not x.requires_grad:
+        sums = _sorted_segment_reduce(x.data, batch, num_graphs, np.add, 0.0)
+        if sums is not None:
+            counts = np.zeros((num_graphs, 1), dtype=x.data.dtype)
+            np.add.at(counts, batch, 1.0)
+            return Tensor(sums / np.maximum(counts, 1.0), dtype=x.data.dtype)
+    return F.segment_mean(x, batch, num_graphs)
 
 
 def global_sum_pool(x: Tensor, batch: np.ndarray, num_graphs: int) -> Tensor:
     """Sum node embeddings per graph."""
-    return F.segment_sum(x, np.asarray(batch, dtype=np.int64), num_graphs)
+    batch = np.asarray(batch, dtype=np.int64)
+    if Tensor.inference or not x.requires_grad:
+        sums = _sorted_segment_reduce(x.data, batch, num_graphs, np.add, 0.0)
+        if sums is not None:
+            return Tensor(sums, dtype=x.data.dtype)
+    return F.segment_sum(x, batch, num_graphs)
 
 
 def global_max_pool(x: Tensor, batch: np.ndarray, num_graphs: int) -> Tensor:
     """Per-graph elementwise maximum (non-differentiable ties broken evenly)."""
     batch = np.asarray(batch, dtype=np.int64)
-    # compute the max per graph on raw data, then recover gradients by masking
     data = x.data
-    seg_max = np.full((num_graphs, data.shape[1]), -np.inf)
+    if Tensor.inference or not x.requires_grad:
+        # no gradient routing needed — the tie-splitting machinery below only
+        # exists to spread gradient mass, and its value equals the max exactly
+        seg_max = _sorted_segment_reduce(data, batch, num_graphs,
+                                         np.maximum, 0.0)
+        if seg_max is not None:
+            return Tensor(seg_max, dtype=data.dtype)
+    # compute the max per graph on raw data, then recover gradients by masking
+    seg_max = np.full((num_graphs, data.shape[1]), -np.inf, dtype=data.dtype)
     np.maximum.at(seg_max, batch, data)
     seg_max[~np.isfinite(seg_max)] = 0.0
+    if Tensor.inference or not x.requires_grad:
+        return Tensor(seg_max, dtype=data.dtype)
     mask = (data == seg_max[batch]).astype(np.float64)
     # normalize ties so gradient mass stays 1 per (graph, feature)
     tie_counts = np.zeros_like(seg_max)

@@ -13,6 +13,16 @@ weights enter the layer multiplicatively: each message is scaled by
 ``1 + w_e`` where ``w_e`` is the (scaled) edge weight, so heavier edges (hot
 loop bodies) contribute proportionally more to the embedding, while the
 weightless augmentation edges (w = 0) are unaffected.
+
+The forward pass is fully vectorized over relations: a cached
+relation-bucketed :class:`~repro.gnn.edge_layout.RelationalEdgeLayout`
+feeds either one stacked batched-matmul projection of all nodes (dense
+graphs) or a gather → :func:`~repro.nn.functional.segment_matmul` of only
+the rows each relation actually touches (sparse relations), followed by a
+fused gather → message → segment-softmax → scatter-add with no Python loop
+over relations.  The seed per-relation-loop implementation is kept as
+:meth:`RGATConv.forward_reference` for parity regression tests and the
+``benchmarks/test_perf_gnn_forward.py`` micro-benchmark.
 """
 
 from __future__ import annotations
@@ -24,7 +34,8 @@ import numpy as np
 from ..nn import functional as F
 from ..nn import init
 from ..nn.module import Parameter
-from ..nn.tensor import Tensor, concatenate
+from ..nn.tensor import Tensor, concatenate, segment_sum_data
+from .edge_layout import RelationalEdgeLayout, get_edge_layout
 from .message_passing import MessagePassing, validate_edge_index
 
 
@@ -93,13 +104,190 @@ class RGATConv(MessagePassing):
     def output_dim(self) -> int:
         return self.heads * self.out_channels
 
+    #: :class:`~repro.gnn.models.ParaGraphModel` passes its per-forward cached
+    #: edge layout to layers advertising this flag.
+    accepts_layout = True
+
     def forward(
         self,
         x: Tensor,
         edge_index: np.ndarray,
         edge_type: Optional[np.ndarray] = None,
         edge_weight: Optional[np.ndarray] = None,
+        layout: Optional[RelationalEdgeLayout] = None,
     ) -> Tensor:
+        num_nodes = x.shape[0]
+        if (layout is None or layout.num_relations != self.num_relations
+                or layout.num_nodes != num_nodes):
+            # validation (edge_index shape/range, edge_type range) happens
+            # once inside the cached layout build, not per layer per forward
+            layout = get_edge_layout(edge_index, edge_type, num_nodes,
+                                     self.num_relations)
+        num_edges = layout.num_edges
+
+        heads, out_channels = self.heads, self.out_channels
+
+        if num_edges and Tensor.inference:
+            # inference fast path: fused pure-NumPy kernel, no Tensor ops
+            return self._forward_fused(x, layout, edge_weight)
+
+        if num_edges == 0:
+            aggregated = Tensor(np.zeros((num_nodes, heads * out_channels)),
+                                dtype=x.data.dtype)
+        else:
+            src, dst, rel = layout.src, layout.dst, layout.rel
+
+            # stacked per-relation projection: project every node once per
+            # relation in a single batched matmul when the graph is dense
+            # enough to amortize it, otherwise project only the gathered
+            # source/destination rows relation-block by relation-block
+            if self.num_relations * num_nodes <= 2 * num_edges:
+                projected = x @ self.weight                  # (R, N, H*C)
+                # per-node attention scores first, so per-edge work gathers
+                # (E, H) scalars instead of (E, H, C) vectors
+                p4 = projected.reshape(self.num_relations, num_nodes,
+                                       heads, out_channels)
+                score_src = (p4 * self.att_src.reshape(
+                    self.num_relations, 1, heads, out_channels)).sum(axis=3)
+                score_dst = (p4 * self.att_dst.reshape(
+                    self.num_relations, 1, heads, out_channels)).sum(axis=3)
+                h_src = projected[(rel, src)].reshape(num_edges, heads,
+                                                      out_channels)
+                logit = score_src[(rel, src)] + score_dst[(rel, dst)]  # (E, H)
+            else:
+                h_src = F.segment_matmul(x.index_select(src), self.weight,
+                                         layout.offsets)     # (E, H*C)
+                h_dst = F.segment_matmul(x.index_select(dst), self.weight,
+                                         layout.offsets)
+                h_src = h_src.reshape(num_edges, heads, out_channels)
+                h_dst = h_dst.reshape(num_edges, heads, out_channels)
+                att_src = self.att_src.index_select(rel)     # (E, H, C)
+                att_dst = self.att_dst.index_select(rel)
+                logit = (h_src * att_src).sum(axis=2) \
+                    + (h_dst * att_dst).sum(axis=2)          # (E, H)
+            logit = F.leaky_relu(logit, self.negative_slope)
+
+            # across-relation attention normalization per destination node,
+            # fused with the ParaGraph edge-weight modulation into a single
+            # per-edge coefficient so h_src is scaled exactly once
+            alpha = F.segment_softmax(logit, dst, num_nodes)  # (E, H)
+            if self.use_edge_weight and edge_weight is not None:
+                weights = layout.sort(edge_weight, dtype=x.data.dtype)
+                alpha = alpha * Tensor((1.0 + weights)[:, None],
+                                       dtype=x.data.dtype)
+            weighted = h_src * alpha.reshape(num_edges, heads, 1)
+            aggregated = self.aggregate_sum(weighted, dst, num_nodes)
+            aggregated = aggregated.reshape(num_nodes, heads * out_channels)
+
+        if self.self_weight is not None:
+            aggregated = aggregated + (x @ self.self_weight)
+        return aggregated + self.bias
+
+    def _fused_pack(self, dtype):
+        """Pre-packed single-GEMM weights for the fused dense kernel.
+
+        ``W2`` is the relation-stacked projection reshaped to ``(F, R*H*C)``
+        so all relations project in one BLAS call, and ``A_src`` / ``A_dst``
+        fold the attention vectors into the projection
+        (``score = x @ (W · att)``), shape ``(F, R*H)`` — attention scores
+        never materialise the per-node, per-relation feature block.  Cached
+        per conv, keyed by the identity of the (possibly dtype-cast)
+        parameter arrays, so serving reuses one pack until weights change.
+        """
+        weight, att_src, att_dst = self.weight.data, self.att_src.data, self.att_dst.data
+        cached = self.__dict__.get("_fused_pack_cache")
+        if cached is not None and cached[0] is weight and cached[1] is att_src \
+                and cached[2] is att_dst and cached[3] == np.dtype(dtype).str:
+            return cached[4:]
+        num_relations, in_channels = weight.shape[0], weight.shape[1]
+        heads, out_channels = self.heads, self.out_channels
+        w4 = weight.reshape(num_relations, in_channels, heads, out_channels)
+        packed_w = np.ascontiguousarray(
+            weight.transpose(1, 0, 2).reshape(in_channels, -1))
+        packed_a_src = np.ascontiguousarray(
+            np.einsum("rfhc,rhc->rfh", w4, att_src)
+            .transpose(1, 0, 2).reshape(in_channels, -1))
+        packed_a_dst = np.ascontiguousarray(
+            np.einsum("rfhc,rhc->rfh", w4, att_dst)
+            .transpose(1, 0, 2).reshape(in_channels, -1))
+        self.__dict__["_fused_pack_cache"] = (
+            weight, att_src, att_dst, np.dtype(dtype).str,
+            packed_w, packed_a_src, packed_a_dst)
+        return packed_w, packed_a_src, packed_a_dst
+
+    def _forward_fused(self, x: Tensor, layout: RelationalEdgeLayout,
+                       edge_weight: Optional[np.ndarray]) -> Tensor:
+        """Fused no-autodiff kernel: gather → message → softmax → scatter.
+
+        Runs only under :func:`repro.nn.no_grad` (``Tensor.inference``); works
+        on raw arrays with pre-packed weights, scales messages in place and
+        aggregates through the cached sparse scatter matrix, so a forward
+        pass allocates nothing but its per-edge buffers.
+        """
+        xd = x.data
+        num_nodes = xd.shape[0]
+        num_edges = layout.num_edges
+        heads, out_channels = self.heads, self.out_channels
+        src, dst, rel = layout.src, layout.dst, layout.rel
+        weight = self.weight.data
+
+        if self.num_relations * num_nodes <= 2 * num_edges:
+            packed_w, packed_a_src, packed_a_dst = self._fused_pack(xd.dtype)
+            projected = xd @ packed_w                        # (N, R*H*C)
+            score_src = xd @ packed_a_src                    # (N, R*H)
+            score_dst = xd @ packed_a_dst
+            h = projected.reshape(-1, heads, out_channels)[layout.cell_src]
+            logit = score_src.reshape(-1, heads)[layout.cell_src] \
+                + score_dst.reshape(-1, heads)[layout.cell_dst]   # (E, H)
+        else:
+            out_dtype = np.result_type(xd, weight)
+            x_src, x_dst = xd[src], xd[dst]
+            h = np.zeros((num_edges, heads * out_channels), dtype=out_dtype)
+            h_dst = np.zeros_like(h)
+            for relation, lo, hi in layout.blocks():
+                np.matmul(x_src[lo:hi], weight[relation], out=h[lo:hi])
+                np.matmul(x_dst[lo:hi], weight[relation], out=h_dst[lo:hi])
+            h = h.reshape(num_edges, heads, out_channels)
+            h_dst = h_dst.reshape(num_edges, heads, out_channels)
+            logit = np.einsum("ehc,ehc->eh", h, self.att_src.data[rel]) \
+                + np.einsum("ehc,ehc->eh", h_dst, self.att_dst.data[rel])
+
+        logit = np.where(logit > 0, logit, self.negative_slope * logit)
+        # segment softmax over destinations, in place on the logit buffer;
+        # per-node reductions run as reduceat over the layout's dst-major view
+        seg_max = layout.segment_reduce(logit, op="max")
+        logit -= seg_max[dst]
+        np.exp(logit, out=logit)
+        denom = layout.segment_reduce(logit, op="sum")
+        logit /= (denom + 1e-16)[dst]                        # alpha (E, H)
+        if self.use_edge_weight and edge_weight is not None:
+            logit *= (1.0 + layout.sort(edge_weight, dtype=logit.dtype))[:, None]
+        h *= logit[:, :, None]                               # in-place scaling
+        messages = h.reshape(num_edges, heads * out_channels)
+        matrix = layout.scatter_matrix(messages.dtype)
+        if matrix is not None:
+            aggregated = np.asarray(matrix @ messages)
+        else:                       # no scipy: generic segment-sum fallback
+            aggregated = segment_sum_data(messages, dst, num_nodes)
+        if self.self_weight is not None:
+            aggregated += xd @ self.self_weight.data
+        aggregated += self.bias.data
+        return Tensor(aggregated, dtype=aggregated.dtype)
+
+    def forward_reference(
+        self,
+        x: Tensor,
+        edge_index: np.ndarray,
+        edge_type: Optional[np.ndarray] = None,
+        edge_weight: Optional[np.ndarray] = None,
+        layout: Optional[RelationalEdgeLayout] = None,
+    ) -> Tensor:
+        """The seed per-relation-loop forward (*layout* is ignored).
+
+        Kept as the ground truth for the vectorized kernel: parity regression
+        tests assert ``forward == forward_reference`` to float64 precision,
+        and the GNN micro-benchmark measures the speedup against it.
+        """
         num_nodes = x.shape[0]
         edge_index = validate_edge_index(edge_index, num_nodes)
         num_edges = edge_index.shape[1]

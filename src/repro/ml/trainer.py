@@ -124,8 +124,15 @@ class Trainer:
         )
 
     # ------------------------------------------------------------------ #
-    def predict(self, dataset: GraphDataset, batch_size: Optional[int] = None) -> np.ndarray:
-        """Predict runtimes (microseconds) for every sample in *dataset*."""
+    def predict(self, dataset: GraphDataset, batch_size: Optional[int] = None,
+                dtype=None) -> np.ndarray:
+        """Predict runtimes (microseconds) for every sample in *dataset*.
+
+        Inference runs on the no-graph fast path (``repro.nn.no_grad``).
+        *dtype* selects the forward-pass precision: ``None`` keeps float64
+        (bit-parity with training-time evaluation); ``np.float32`` is the
+        serving configuration ``Session.predict_batch`` uses.
+        """
         if not self._fitted_scalers:
             raise RuntimeError("Trainer.fit must run before predict")
         if len(dataset) == 0:
@@ -134,15 +141,20 @@ class Trainer:
         outputs: List[np.ndarray] = []
         for batch in dataset.batches(batch_size, shuffle=False):
             scaled = self._scaled_batch(batch)
-            outputs.append(self.model.predict(scaled))
-        scaled_predictions = np.concatenate(outputs)
+            if dtype is None:
+                # don't forward the kwarg: custom models registered against
+                # the pre-dtype predict() signature must keep working
+                outputs.append(self.model.predict(scaled))
+            else:
+                outputs.append(self.model.predict(scaled, dtype=dtype))
+        scaled_predictions = np.concatenate(outputs).astype(np.float64)
         # clamp to the scaler's range before inverting so expm1 cannot overflow
         scaled_predictions = np.clip(scaled_predictions, 0.0, 1.0)
         return self.target_scaler.inverse_transform(scaled_predictions)
 
-    def evaluate(self, dataset: GraphDataset) -> Dict[str, float]:
+    def evaluate(self, dataset: GraphDataset, dtype=None) -> Dict[str, float]:
         """RMSE / normalized RMSE of the current model on *dataset*."""
-        predictions = self.predict(dataset)
+        predictions = self.predict(dataset, dtype=dtype)
         actual = dataset.targets()
         return {
             "rmse": rmse(actual, predictions),

@@ -3,15 +3,33 @@
 Substitute for PyTorch: tensors with automatic differentiation, standard
 layers (Linear/MLP/Dropout/Embedding), MSE loss and the Adam optimizer — the
 pieces the ParaGraph GNN and the COMPOFF baseline are built from.
+
+Inference fast path: :func:`no_grad` disables closure/graph recording,
+:func:`default_dtype` switches serving forwards to float32, and
+:func:`parameters_as` temporarily views a module's parameters in a cast
+dtype (restoring the float64 originals bit-exactly).  Segment reductions
+(``scatter_add``) route through cached sparse scatter matrices when scipy
+is present.
 """
 
 from . import functional
 from .init import kaiming_uniform, xavier_normal, xavier_uniform
 from .layers import MLP, Dropout, Embedding, Linear, ReLU, Sequential
 from .losses import HuberLoss, MAELoss, MSELoss
-from .module import Module, Parameter
+from .module import Module, Parameter, parameters_as
 from .optim import Adam, Optimizer, SGD
-from .tensor import Tensor, concatenate, ones, stack, zeros
+from .tensor import (
+    Tensor,
+    concatenate,
+    default_dtype,
+    get_default_dtype,
+    is_grad_enabled,
+    no_grad,
+    ones,
+    set_default_dtype,
+    stack,
+    zeros,
+)
 
 __all__ = [
     "Adam",
@@ -30,9 +48,15 @@ __all__ = [
     "Sequential",
     "Tensor",
     "concatenate",
+    "default_dtype",
     "functional",
+    "get_default_dtype",
+    "is_grad_enabled",
     "kaiming_uniform",
+    "no_grad",
     "ones",
+    "parameters_as",
+    "set_default_dtype",
     "stack",
     "xavier_normal",
     "xavier_uniform",

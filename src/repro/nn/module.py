@@ -8,11 +8,53 @@ checkpointing.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
 from .tensor import Tensor
+
+
+def _cast_parameter(parameter: "Parameter", dtype: np.dtype) -> np.ndarray:
+    """Cast one parameter's data, memoized per parameter.
+
+    The cast array is cached on the parameter and keyed by the identity of
+    the source array, so repeated serving calls reuse one buffer; optimizer
+    steps and ``load_state_dict`` reassign ``data`` (a new array object),
+    which invalidates the cache automatically.
+    """
+    cached = parameter.__dict__.get("_cast_cache")
+    if cached is not None and cached[0] is parameter.data and cached[1] == dtype.str:
+        return cached[2]
+    cast = parameter.data.astype(dtype)
+    parameter.__dict__["_cast_cache"] = (parameter.data, dtype.str, cast)
+    return cast
+
+
+@contextmanager
+def parameters_as(module: "Module", dtype):
+    """Temporarily view every parameter of *module* in *dtype*.
+
+    The serving fast path runs float32 forwards through models trained in
+    float64: inside the block each parameter's ``data`` is a cast copy
+    (memoized, so repeated predictions don't re-cast), and on exit the
+    original float64 arrays are restored bit-exactly (a cast round-trip would
+    lose precision).  Training must not run inside the block.
+    """
+    dtype = np.dtype(dtype)
+    parameters = module.parameters()
+    saved = [parameter.data for parameter in parameters]
+    if all(data.dtype == dtype for data in saved):
+        yield
+        return
+    try:
+        for parameter in parameters:
+            parameter.data = _cast_parameter(parameter, dtype)
+        yield
+    finally:
+        for parameter, data in zip(parameters, saved):
+            parameter.data = data
 
 
 class Parameter(Tensor):

@@ -7,22 +7,168 @@ library that the reproduction needs:
 * :class:`Tensor` — wraps a ``numpy.ndarray``, records the operations applied
   to it and can back-propagate gradients through them,
 * elementwise arithmetic with full broadcasting support,
-* matrix multiplication, reductions, reshaping, concatenation,
-* the gather / scatter-add primitives required by message-passing GNNs.
+* matrix multiplication (with batched/broadcast operands, which is what the
+  stacked per-relation GNN projections ride on), reductions, reshaping,
+  concatenation,
+* the gather / scatter-add primitives required by message-passing GNNs,
+* an **inference fast path**: inside :func:`no_grad` no operation records a
+  backward closure or keeps references to its inputs, so a forward pass
+  allocates only its output arrays, and :func:`default_dtype` switches newly
+  created tensors to ``float32`` for serving (training stays ``float64`` for
+  numerical parity with the reference results).
 
-The engine is deliberately eager and single-threaded: graphs in this problem
-have a few hundred nodes, so clarity and correctness win over micro-
-optimization (per the HPC-Python guides: vectorize with NumPy, avoid copies,
-profile before optimizing further).
+The engine is eager and single-threaded, but the hot paths are tuned: the
+backward pass orders the graph with an iterative topological sort (no
+recursion limit on deep graphs), gradients accumulate into preallocated
+buffers in place, and the gather/scatter primitives write straight into
+their destination buffers instead of materialising intermediate copies.
 """
 
 from __future__ import annotations
 
+import hashlib
+from collections import OrderedDict
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+try:                                    # scipy is optional: scatter_add falls
+    from scipy import sparse as _sparse  # back to np.add.at without it
+except ImportError:                     # pragma: no cover - env without scipy
+    _sparse = None
+
 ArrayLike = Union["Tensor", np.ndarray, float, int, Sequence]
+
+
+# --------------------------------------------------------------------- #
+# global engine state: gradient recording and default dtype
+# --------------------------------------------------------------------- #
+_DEFAULT_DTYPE = np.float64
+
+
+def get_default_dtype() -> np.dtype:
+    """The dtype newly created tensors are coerced to (float64 by default)."""
+    return np.dtype(_DEFAULT_DTYPE)
+
+
+def set_default_dtype(dtype) -> np.dtype:
+    """Set the default tensor dtype; returns the previous one."""
+    global _DEFAULT_DTYPE
+    dtype = np.dtype(dtype)
+    if dtype.kind != "f":
+        raise TypeError(f"default dtype must be a float dtype, got {dtype}")
+    previous = np.dtype(_DEFAULT_DTYPE)
+    _DEFAULT_DTYPE = dtype
+    return previous
+
+
+class default_dtype:
+    """Context manager that temporarily switches the default tensor dtype.
+
+    ``with default_dtype(np.float32): ...`` makes every tensor created inside
+    the block (inputs, wrapped constants, masks) float32, which is the
+    serving configuration; outside the block the engine stays float64.
+    """
+
+    def __init__(self, dtype) -> None:
+        self.dtype = np.dtype(dtype)
+        self._previous: Optional[np.dtype] = None
+
+    def __enter__(self) -> "default_dtype":
+        self._previous = set_default_dtype(self.dtype)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        assert self._previous is not None
+        set_default_dtype(self._previous)
+
+
+def is_grad_enabled() -> bool:
+    """Whether operations currently record backward closures."""
+    return not Tensor.inference
+
+
+class no_grad:
+    """Context manager disabling autodiff recording (the inference fast path).
+
+    Inside the block every operation skips closure/graph recording: outputs
+    carry ``requires_grad=False``, keep no references to their inputs, and
+    ``backward()`` on them is a no-op.  Nesting is supported; the previous
+    state is restored on exit.
+    """
+
+    def __enter__(self) -> "no_grad":
+        self._previous = Tensor.inference
+        Tensor.inference = True
+        return self
+
+    def __exit__(self, *exc) -> None:
+        Tensor.inference = self._previous
+
+
+def _noop() -> None:
+    return None
+
+
+# --------------------------------------------------------------------- #
+# cached scatter matrices: segment-sum as a sparse matmul
+# --------------------------------------------------------------------- #
+#: LRU of CSR matrices mapping per-row indices to segment sums.  ``np.add.at``
+#: is unbuffered and an order of magnitude slower than a sparse matmul for the
+#: (edges × features) messages the GNN aggregates; the matrix for a given
+#: index vector is built once and reused across layers/epochs/predictions.
+_SCATTER_MATRIX_CACHE: "OrderedDict[tuple, object]" = OrderedDict()
+_SCATTER_MATRIX_CAPACITY = 64
+
+#: minimum number of scattered elements before the sparse-matmul path kicks
+#: in — below this np.add.at wins because the matmul setup dominates.
+_SCATTER_MATMUL_THRESHOLD = 16384
+
+
+def scatter_matrix(indices: np.ndarray, num_segments: int, dtype) -> Optional[object]:
+    """A cached ``(num_segments, len(indices))`` CSR summation matrix.
+
+    ``scatter_matrix(i, S, d) @ values`` equals ``np.add.at``-style segment
+    summation of ``values`` (2-D, one row per index).  Returns ``None`` when
+    scipy is unavailable.  Keys are content digests, so equal index vectors
+    share one matrix regardless of array identity.
+    """
+    if _sparse is None:
+        return None
+    dtype = np.dtype(dtype)
+    digest = hashlib.blake2b(np.ascontiguousarray(indices, dtype=np.int64).tobytes(),
+                             digest_size=16).digest()
+    key = (digest, int(num_segments), dtype.str)
+    matrix = _SCATTER_MATRIX_CACHE.get(key)
+    if matrix is not None:
+        _SCATTER_MATRIX_CACHE.move_to_end(key)
+        return matrix
+    num_rows = int(indices.shape[0])
+    matrix = _sparse.csr_matrix(
+        (np.ones(num_rows, dtype=dtype), (indices, np.arange(num_rows))),
+        shape=(int(num_segments), num_rows))
+    _SCATTER_MATRIX_CACHE[key] = matrix
+    while len(_SCATTER_MATRIX_CACHE) > _SCATTER_MATRIX_CAPACITY:
+        _SCATTER_MATRIX_CACHE.popitem(last=False)
+    return matrix
+
+
+def segment_sum_data(values: np.ndarray, indices: np.ndarray,
+                     num_segments: int) -> np.ndarray:
+    """Segment-sum a plain array: ``out[k] = sum_{i: indices[i]==k} values[i]``.
+
+    Uses the cached sparse matmul for large inputs and ``np.add.at`` for
+    small ones (or when scipy is missing).
+    """
+    out_shape = (int(num_segments),) + values.shape[1:]
+    if values.size >= _SCATTER_MATMUL_THRESHOLD and values.ndim >= 2 and values.shape[0]:
+        matrix = scatter_matrix(indices, num_segments, values.dtype)
+        if matrix is not None:
+            flat = values.reshape(values.shape[0], -1)
+            return np.asarray(matrix @ flat).reshape(out_shape)
+    out = np.zeros(out_shape, dtype=values.dtype)
+    np.add.at(out, indices, values)
+    return out
 
 
 def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
@@ -42,7 +188,11 @@ def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
 class Tensor:
     """A differentiable NumPy array."""
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_prev", "_op")
+    __slots__ = ("data", "grad", "requires_grad", "_backward_fn", "_prev", "_op")
+
+    #: class-wide inference flag — ``True`` while a :class:`no_grad` block is
+    #: active; every op then skips closure/graph recording.
+    inference: bool = False
 
     def __init__(
         self,
@@ -50,15 +200,29 @@ class Tensor:
         requires_grad: bool = False,
         _children: Tuple["Tensor", ...] = (),
         _op: str = "",
+        dtype=None,
     ) -> None:
         if isinstance(data, Tensor):
             data = data.data
-        self.data = np.asarray(data, dtype=np.float64)
+        self.data = np.asarray(data, dtype=dtype or _DEFAULT_DTYPE)
         self.requires_grad = bool(requires_grad)
         self.grad: Optional[np.ndarray] = None
-        self._backward: Callable[[], None] = lambda: None
+        self._backward_fn: Callable[[], None] = _noop
         self._prev: Tuple[Tensor, ...] = _children
         self._op = _op
+
+    @property
+    def _backward(self) -> Callable[[], None]:
+        return self._backward_fn
+
+    @_backward.setter
+    def _backward(self, fn: Callable[[], None]) -> None:
+        # ops assign their backward closure unconditionally; recording is
+        # decided here, so non-recording tensors (inference mode / constant
+        # subgraphs) never keep a closure — and therefore no reference to
+        # their inputs — alive
+        if self._prev:
+            self._backward_fn = fn
 
     # ------------------------------------------------------------------ #
     # basics
@@ -86,15 +250,17 @@ class Tensor:
         return self.data
 
     def detach(self) -> "Tensor":
-        return Tensor(self.data.copy(), requires_grad=False)
+        return Tensor(self.data.copy(), requires_grad=False, dtype=self.data.dtype)
 
     def zero_grad(self) -> None:
         self.grad = None
 
     def _accumulate(self, grad: np.ndarray) -> None:
+        # grads accumulate into one preallocated buffer (no copy per op);
+        # callers pass grads broadcastable to self.shape
         if self.grad is None:
             self.grad = np.zeros_like(self.data)
-        self.grad = self.grad + grad
+        np.add(self.grad, grad, out=self.grad)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return f"Tensor(shape={self.shape}, requires_grad={self.requires_grad}, op={self._op!r})"
@@ -107,20 +273,24 @@ class Tensor:
         if grad is None:
             grad = np.ones_like(self.data)
         else:
-            grad = np.asarray(grad, dtype=np.float64)
-        # topological order over the recorded graph
+            grad = np.asarray(grad, dtype=self.data.dtype)
+        # iterative topological sort over the recorded graph — deep chains
+        # (long training graphs) must not hit the Python recursion limit
         topo: List[Tensor] = []
         visited = set()
-
-        def build(node: "Tensor") -> None:
+        stack: List[Tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, expanded = stack.pop()
+            if expanded:
+                topo.append(node)
+                continue
             if id(node) in visited:
-                return
+                continue
             visited.add(id(node))
+            stack.append((node, True))
             for child in node._prev:
-                build(child)
-            topo.append(node)
-
-        build(self)
+                if id(child) not in visited:
+                    stack.append((child, False))
         self._accumulate(grad)
         for node in reversed(topo):
             node._backward()
@@ -130,8 +300,11 @@ class Tensor:
         return value if isinstance(value, Tensor) else Tensor(value)
 
     def _make(self, data: np.ndarray, children: Tuple["Tensor", ...], op: str) -> "Tensor":
+        if Tensor.inference:
+            return Tensor(data, dtype=data.dtype)
         requires = any(c.requires_grad for c in children)
-        return Tensor(data, requires_grad=requires, _children=children if requires else (), _op=op)
+        return Tensor(data, requires_grad=requires, _children=children if requires else (),
+                      _op=op, dtype=data.dtype)
 
     # ------------------------------------------------------------------ #
     # arithmetic
@@ -313,7 +486,8 @@ class Tensor:
             grad = out.grad
             if axis is not None and not keepdims:
                 grad = np.expand_dims(grad, axis)
-            self._accumulate(np.broadcast_to(grad, self.shape).copy())
+            # np.add broadcasts the view into the buffer — no materialised copy
+            self._accumulate(np.broadcast_to(grad, self.shape))
 
         out._backward = _backward
         return out
@@ -374,9 +548,10 @@ class Tensor:
 
         def _backward() -> None:
             if self.requires_grad:
-                grad = np.zeros_like(self.data)
-                np.add.at(grad, index, out.grad)
-                self._accumulate(grad)
+                if self.grad is None:
+                    self.grad = np.zeros_like(self.data)
+                # scatter straight into the accumulation buffer
+                np.add.at(self.grad, index, out.grad)
 
         out._backward = _backward
         return out
@@ -391,9 +566,10 @@ class Tensor:
 
         def _backward() -> None:
             if self.requires_grad:
-                grad = np.zeros_like(self.data)
-                np.add.at(grad, indices, out.grad)
-                self._accumulate(grad)
+                if self.grad is None:
+                    self.grad = np.zeros_like(self.data)
+                # scatter straight into the accumulation buffer
+                np.add.at(self.grad, indices, out.grad)
 
         out._backward = _backward
         return out
@@ -405,14 +581,16 @@ class Tensor:
         of message passing and of global pooling.
         """
         indices = np.asarray(indices, dtype=np.int64)
-        out_shape = (num_segments,) + self.data.shape[1:]
-        data = np.zeros(out_shape, dtype=np.float64)
-        np.add.at(data, indices, self.data)
+        data = segment_sum_data(self.data, indices, num_segments)
         out = self._make(data, (self,), "scatter_add")
 
         def _backward() -> None:
             if self.requires_grad:
-                self._accumulate(out.grad[indices])
+                if self.grad is None:
+                    # fancy indexing already yields a fresh buffer we can own
+                    self.grad = out.grad[indices]
+                else:
+                    np.add(self.grad, out.grad[indices], out=self.grad)
 
         out._backward = _backward
         return out
@@ -422,9 +600,10 @@ def concatenate(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
     """Differentiable concatenation along *axis*."""
     tensors = [Tensor._wrap(t) for t in tensors]
     data = np.concatenate([t.data for t in tensors], axis=axis)
-    requires = any(t.requires_grad for t in tensors)
+    requires = is_grad_enabled() and any(t.requires_grad for t in tensors)
     out = Tensor(data, requires_grad=requires,
-                 _children=tuple(tensors) if requires else (), _op="concat")
+                 _children=tuple(tensors) if requires else (), _op="concat",
+                 dtype=data.dtype)
 
     def _backward() -> None:
         offset = 0
@@ -444,9 +623,10 @@ def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
     """Differentiable stack along a new axis."""
     tensors = [Tensor._wrap(t) for t in tensors]
     data = np.stack([t.data for t in tensors], axis=axis)
-    requires = any(t.requires_grad for t in tensors)
+    requires = is_grad_enabled() and any(t.requires_grad for t in tensors)
     out = Tensor(data, requires_grad=requires,
-                 _children=tuple(tensors) if requires else (), _op="stack")
+                 _children=tuple(tensors) if requires else (), _op="stack",
+                 dtype=data.dtype)
 
     def _backward() -> None:
         grads = np.split(out.grad, len(tensors), axis=axis)
