@@ -1,40 +1,57 @@
 """Persistence helpers for the benchmark harness.
 
 pytest captures the stdout of passing tests, so every benchmark also appends
-its regenerated table/figure to ``benchmarks/results.txt`` via :func:`report`;
-EXPERIMENTS.md references that file for the measured numbers.
+its regenerated table/figure to a per-run results file via :func:`report`.
+Results files live under the git-ignored ``benchmarks/out/`` directory, one
+file per benchmark session (``results_<timestamp>.txt``), so repeated runs
+never append to — or silently grow — a single shared file.
 
 Performance benchmarks additionally persist machine-readable numbers with
-:func:`report_json` (``benchmarks/BENCH_<tag>.json``), so CI jobs and later
-PRs can diff timings without parsing the text report.
+:func:`report_json` (``benchmarks/BENCH_<tag>.json``).  Those JSON records
+are the only *tracked* benchmark outputs: CI jobs and later PRs diff
+timings against them without parsing the text reports.
 """
 
 import json
 import os
+import time
 
-RESULTS_PATH = os.path.join(os.path.dirname(__file__), "results.txt")
+OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
+
+#: current session's results file; assigned by :func:`reset_results`.
+_results_path = None
+
+
+def results_path() -> str:
+    """Path of this benchmark session's results file (creating ``out/``)."""
+    global _results_path
+    if _results_path is None:
+        os.makedirs(OUT_DIR, exist_ok=True)
+        stamp = time.strftime("%Y%m%d-%H%M%S")
+        _results_path = os.path.join(OUT_DIR,
+                                     f"results_{stamp}_{os.getpid()}.txt")
+    return _results_path
 
 
 def reset_results() -> None:
-    """Start a fresh results file (called at benchmark-session start)."""
-    try:
-        os.remove(RESULTS_PATH)
-    except FileNotFoundError:
-        pass
+    """Start a fresh per-run results file (called at session start)."""
+    global _results_path
+    _results_path = None
+    results_path()
 
 
 def report(text: str) -> None:
-    """Print a regenerated table/figure and persist it to results.txt."""
+    """Print a regenerated table/figure and persist it to the run's file."""
     print(text)
-    with open(RESULTS_PATH, "a", encoding="utf-8") as handle:
+    with open(results_path(), "a", encoding="utf-8") as handle:
         handle.write(text + "\n\n")
 
 
 def report_json(filename: str, payload: dict) -> str:
-    """Write *payload* as pretty JSON next to results.txt; returns the path.
+    """Write *payload* as pretty JSON under ``benchmarks/``; returns the path.
 
     ``filename`` is conventionally ``BENCH_<tag>.json`` (e.g. ``BENCH_pr2.json``
-    for the GNN-forward micro-benchmark).
+    for the GNN-forward micro-benchmark) — the tracked, diffable record.
     """
     path = os.path.join(os.path.dirname(__file__), filename)
     with open(path, "w", encoding="utf-8") as handle:

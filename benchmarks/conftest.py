@@ -62,5 +62,6 @@ from _reporting import report, reset_results  # noqa: E402,F401
 
 
 def pytest_sessionstart(session):
-    # start each benchmark session with a fresh results.txt
+    # start each benchmark session with a fresh per-run file under
+    # benchmarks/out/ (git-ignored; only BENCH_*.json records are tracked)
     reset_results()

@@ -13,7 +13,8 @@ benchmark measures, on a synthetic ~500-node / ~3k-edge, 8-relation graph:
 
 asserts the >= 5x end-to-end speedup the serving tier relies on plus
 float64 parity with the seed (atol=1e-9), appends the table to
-``results.txt`` and writes the raw timings to ``BENCH_pr2.json``.
+the per-run report under ``benchmarks/out/`` and writes the raw timings
+to ``BENCH_pr2.json``.
 
 ``REPRO_BENCH_QUICK=1`` (the CI smoke job) shrinks the graph and the repeat
 count so the benchmark finishes in seconds; the speedup assertion then

@@ -1,0 +1,145 @@
+"""Corpus-driven soak benchmark for the ``Session.predict_batch`` hot path.
+
+Unlike ``test_api_predict_batch.py`` (8 hand-picked kernel variants), this
+benchmark pushes a *generated* request stream through the serving facade:
+``repro.synth.build_corpus`` produces seeded synthetic C/OpenMP kernels with
+sampled execution contexts, and the soak tiles them into repeated traffic
+waves — the shape a serving tier actually sees (mostly-warm cache, varied
+graph shapes, occasional cold misses).
+
+Reported numbers: cold construction throughput, warm serving throughput and
+cache accounting; machine-readable output goes to ``BENCH_pr3_synth_soak.json``.
+
+``REPRO_BENCH_QUICK=1`` shrinks the corpus for CI smoke jobs; the
+``--runslow`` variant runs a 10x longer soak with cache-pressure eviction.
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from _reporting import report, report_json
+from repro.api import DataConfig, ModelConfig, ReproConfig, Session, get_kernel
+from repro.ml.trainer import TrainingConfig
+from repro.pipeline import SweepConfig
+from repro.synth import build_corpus
+
+PLATFORM = "v100"
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+
+CORPUS_SIZE = 8 if QUICK else 32
+WARM_PASSES = 2 if QUICK else 5
+
+
+def make_trained_session(graph_cache_size: int = 256) -> Session:
+    config = ReproConfig(
+        data=DataConfig(
+            sweep=SweepConfig(size_scales=(1.0,), team_counts=(64,),
+                              thread_counts=(8, 64),
+                              kernels=[get_kernel("matmul"), get_kernel("matvec")]),
+            platforms=(PLATFORM,),
+        ),
+        model=ModelConfig(hidden_dim=16),
+        training=TrainingConfig(epochs=4, batch_size=16,
+                                learning_rate=2e-3, seed=0),
+        seed=0,
+    )
+    session = Session(config, graph_cache_size=graph_cache_size)
+    session.train()
+    return session
+
+
+def soak(session: Session, corpus, passes: int):
+    """Run one cold pass + *passes* warm passes; return timing/accounting."""
+    requests = corpus.sources()
+    session.clear_cache()
+    start = time.perf_counter()
+    cold = session.predict_batch(requests, PLATFORM)
+    cold_s = time.perf_counter() - start
+
+    warm_times = []
+    for _ in range(passes):
+        start = time.perf_counter()
+        warm = session.predict_batch(requests, PLATFORM)
+        warm_times.append(time.perf_counter() - start)
+        np.testing.assert_array_equal(warm, cold)   # soak must stay bit-stable
+    info = session.cache_info()
+    return cold, cold_s, min(warm_times), info
+
+
+def test_synth_corpus_soak(benchmark):
+    session = make_trained_session()
+    corpus = build_corpus(CORPUS_SIZE, seed=2024)
+
+    cold, cold_s, warm_s, info = soak(session, corpus, WARM_PASSES)
+    benchmark.pedantic(
+        lambda: session.predict_batch(corpus.sources(), PLATFORM),
+        rounds=1, iterations=1)
+
+    assert cold.shape == (len(corpus),)
+    assert np.isfinite(cold).all()
+    assert info.size == len(corpus)              # every distinct kernel cached
+    cold_rps = len(corpus) / max(cold_s, 1e-9)
+    warm_rps = len(corpus) / max(warm_s, 1e-9)
+    speedup = cold_s / max(warm_s, 1e-9)
+    report(f"synthetic-corpus soak ({len(corpus)} generated kernels, "
+           f"{WARM_PASSES} warm passes, NVIDIA V100):\n"
+           f"  cold pass (parse+build+encode) : {cold_s * 1000:8.1f} ms "
+           f"({cold_rps:7.0f} req/s)\n"
+           f"  warm pass (cache + GNN only)   : {warm_s * 1000:8.1f} ms "
+           f"({warm_rps:7.0f} req/s)\n"
+           f"  warm/cold speedup              : {speedup:8.1f}x\n"
+           f"  cache: {info.hits} hits / {info.misses} misses, "
+           f"{info.size}/{info.capacity} entries")
+    report_json("BENCH_pr3_synth_soak.json", {
+        "corpus_size": len(corpus),
+        "warm_passes": WARM_PASSES,
+        "cold_ms": cold_s * 1000,
+        "warm_ms": warm_s * 1000,
+        "cold_requests_per_s": cold_rps,
+        "warm_requests_per_s": warm_rps,
+        "speedup": speedup,
+        "cache_hits": info.hits,
+        "cache_misses": info.misses,
+        "quick_mode": QUICK,
+    })
+    assert speedup >= 2.0, (
+        f"warm soak passes must be >= 2x faster than the cold pass, got "
+        f"{speedup:.2f}x (cold {cold_s:.4f}s vs warm {warm_s:.4f}s)")
+
+
+@pytest.mark.slow
+def test_synth_corpus_soak_with_cache_pressure(benchmark):
+    """--runslow: 10x corpus under a deliberately undersized graph cache.
+
+    The cache holds half the corpus, so every pass mixes evictions with
+    hits; predictions must stay bit-stable anyway, and throughput must not
+    collapse below the fully-cold rate.
+    """
+    corpus = build_corpus(4 * CORPUS_SIZE, seed=2025)
+    session = make_trained_session(graph_cache_size=len(corpus) // 2)
+    requests = corpus.sources()
+
+    session.clear_cache()
+    start = time.perf_counter()
+    baseline = session.predict_batch(requests, PLATFORM)
+    cold_s = time.perf_counter() - start
+
+    passes = 10
+    start = time.perf_counter()
+    benchmark.pedantic(
+        lambda: [np.testing.assert_array_equal(
+            session.predict_batch(requests, PLATFORM), baseline)
+            for _ in range(passes)],
+        rounds=1, iterations=1)
+    soak_s = (time.perf_counter() - start) / passes
+
+    info = session.cache_info()
+    assert info.size <= len(corpus) // 2         # capacity respected
+    report(f"synthetic-corpus soak under cache pressure "
+           f"({len(corpus)} kernels, cache {info.capacity}): "
+           f"cold {cold_s * 1000:.1f} ms/pass, "
+           f"soak {soak_s * 1000:.1f} ms/pass over {passes} passes")
+    assert soak_s <= cold_s * 1.5                # eviction churn stays sane

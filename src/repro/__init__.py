@@ -16,6 +16,8 @@ et al.), including every substrate the paper depends on:
 * ``repro.hardware`` -- analytical Summit/Corona accelerator simulator,
 * ``repro.pipeline`` -- the legacy end-to-end workflow (thin shim over
   ``repro.api``),
+* ``repro.synth`` -- seeded synthetic-scenario generators and the
+  differential property-testing harness over the whole pipeline,
 * ``repro.evaluation`` -- drivers regenerating every table and figure.
 
 Quickstart::
@@ -57,6 +59,7 @@ _SUBPACKAGES = (
     "nn",
     "paragraph",
     "pipeline",
+    "synth",
 )
 
 __all__ = list(_SUBPACKAGES)

@@ -595,7 +595,15 @@ class Parser:
     def parse_translation_unit(self) -> TranslationUnitDecl:
         decls: List[ASTNode] = []
         while not self._at_end():
-            if self._peek().kind is TokenKind.PRAGMA:
+            token = self._peek()
+            if token.kind is TokenKind.PRAGMA:
+                if token.text.split()[:1] != ["omp"]:
+                    # non-OpenMP pragma at file scope (#pragma once, ...):
+                    # skip it — the statement-level fallback would misparse
+                    # the following function definition as a declaration.
+                    # Malformed *OpenMP* pragmas still fall through and fail.
+                    self._advance()
+                    continue
                 decls.append(self._parse_pragma_statement())
                 continue
             decls.append(self._parse_function_or_global())

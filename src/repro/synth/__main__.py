@@ -1,0 +1,51 @@
+"""Replay generated property-test cases from their seeds.
+
+Usage::
+
+    python -m repro.synth                      # list scenarios and case counts
+    python -m repro.synth <scenario> <seed>    # replay exactly one case
+    python -m repro.synth <scenario>           # sweep one scenario's corpus
+
+A failing harness run prints this command with the offending seed filled in.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from .harness import SCENARIOS, cases_for, corpus_total_cases, reproduce, run_cases
+
+
+def _list_scenarios() -> int:
+    width = max(len(name) for name in SCENARIOS)
+    print(f"{corpus_total_cases()} cases across {len(SCENARIOS)} scenarios:")
+    for name, spec in SCENARIOS.items():
+        print(f"  {name:<{width}}  {cases_for(name):>5} cases  [{spec.layer}]")
+    print(__doc__.strip().splitlines()[-1].strip())
+    return 0
+
+
+def main(argv) -> int:
+    if not argv:
+        return _list_scenarios()
+    name = argv[0]
+    if name in ("-h", "--help"):
+        print(__doc__.strip())
+        return 0
+    if name not in SCENARIOS:
+        print(f"unknown scenario {name!r}; known scenarios:", file=sys.stderr)
+        for known in SCENARIOS:
+            print(f"  {known}", file=sys.stderr)
+        return 2
+    if len(argv) > 1:
+        seed = int(argv[1])
+        reproduce(name, seed)
+        print(f"scenario {name!r} seed {seed}: OK")
+        return 0
+    report = run_cases(name)
+    print(f"scenario {name!r}: {report.cases} cases OK")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,96 @@
+"""Corpus assembly: turn seeded generators into serving-shaped workloads.
+
+While :mod:`repro.synth.harness` sweeps *invariants* over seeds, this module
+assembles *workloads*: lists of :class:`~repro.api.stages.SourceSpec` built
+from generated kernels, with execution contexts (problem sizes, team/thread
+counts) sampled from the same seed.  The serving property tests and the
+``benchmarks/test_synth_corpus_soak.py`` soak benchmark both draw their
+request streams from here, so "handles whatever the generator can imagine"
+and "survives sustained predict_batch traffic" are exercised by one corpus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .source_gen import GeneratedKernel, SourceGenConfig, generate_kernel
+
+__all__ = ["CorpusSpec", "ScenarioCorpus", "build_corpus"]
+
+
+@dataclass(frozen=True)
+class CorpusSpec:
+    """One serving request: a generated kernel plus its execution context."""
+
+    kernel: GeneratedKernel
+    sizes: dict
+    num_teams: int
+    num_threads: int
+
+    @property
+    def source(self) -> str:
+        """Duck-types as a source carrier for ``SourceSpec.of``."""
+        return self.kernel.source
+
+    @property
+    def name(self) -> str:
+        return self.kernel.name
+
+    def to_source_spec(self):
+        """The full serving request, execution context included."""
+        from ..api.stages import SourceSpec
+        return SourceSpec(source=self.kernel.source, sizes=dict(self.sizes),
+                          num_teams=self.num_teams,
+                          num_threads=self.num_threads, name=self.kernel.name)
+
+
+class ScenarioCorpus:
+    """A seeded, regenerable list of serving requests."""
+
+    def __init__(self, specs: Sequence[CorpusSpec], seed: int) -> None:
+        self.specs = list(specs)
+        self.seed = seed
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def __iter__(self):
+        return iter(self.specs)
+
+    def sources(self) -> List:
+        """The requests as :class:`~repro.api.stages.SourceSpec` objects, so
+        each kernel travels with its own sampled execution context."""
+        return [spec.to_source_spec() for spec in self.specs]
+
+    def repeated(self, times: int) -> List:
+        """The corpus tiled *times* over — a warm-cache traffic pattern."""
+        requests = self.sources()
+        return [request for _ in range(max(times, 0)) for request in requests]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"ScenarioCorpus(seed={self.seed}, kernels={len(self.specs)})"
+
+
+def build_corpus(size: int, seed: int = 0,
+                 config: Optional[SourceGenConfig] = None) -> ScenarioCorpus:
+    """Generate *size* kernels with sampled execution contexts.
+
+    Kernel ``k`` of corpus ``(size, seed)`` is always identical across runs:
+    its generator seed is derived from *seed* and ``k`` alone.
+    """
+    rng = np.random.default_rng(seed)
+    specs: List[CorpusSpec] = []
+    for index in range(size):
+        kernel = generate_kernel(seed * 100_003 + index, config)
+        sizes = {name: int(rng.choice([16, 64, 256, 1024]))
+                 for name in kernel.size_params}
+        specs.append(CorpusSpec(
+            kernel=kernel,
+            sizes=sizes,
+            num_teams=int(rng.choice([1, 8, 64, 128])),
+            num_threads=int(rng.choice([1, 8, 64])),
+        ))
+    return ScenarioCorpus(specs, seed)

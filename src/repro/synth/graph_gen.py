@@ -1,0 +1,168 @@
+"""Seeded generator of random ParaGraph instances and encoded-graph arrays.
+
+One level below the source generator: instead of going through the frontend,
+these helpers produce :class:`~repro.paragraph.graph.ParaGraph` objects and
+:class:`~repro.paragraph.encoders.EncodedGraph` arrays directly, with
+explicit control over the corners the GNN kernels care about — node/edge/
+relation counts, degree skew (hub destinations), isolated nodes, and the
+single-relation / empty-relation / no-edge degenerate regimes that the
+relation-bucketed layouts and pooling shortcuts special-case.
+
+Everything is derived from one integer seed, so any failing property-test
+case reproduces from the seed its harness prints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..paragraph.edges import NUM_EDGE_TYPES, EdgeType
+from ..paragraph.encoders import EncodedGraph, GraphBatch, GraphEncoder
+from ..paragraph.graph import ParaGraph
+from ..paragraph.vocab import DEFAULT_NODE_KINDS
+
+__all__ = [
+    "GraphGenConfig",
+    "random_batch",
+    "random_encoded_graph",
+    "random_paragraph",
+]
+
+
+@dataclass(frozen=True)
+class GraphGenConfig:
+    """Shape distribution of the random graphs."""
+
+    num_nodes: Tuple[int, int] = (2, 40)
+    #: edges per node (sampled uniformly, then rounded); 0 edges stays legal.
+    edges_per_node: Tuple[float, float] = (0.0, 4.0)
+    num_relations: int = NUM_EDGE_TYPES
+    #: exponent of the power-law used to pick destination nodes — larger
+    #: values concentrate in-degree on a few hub nodes (degree skew).
+    hub_exponent: float = 1.5
+    #: probability that the graph is forced into a degenerate corner:
+    #: no edges at all, a single active relation, or a strict hub star.
+    corner_probability: float = 0.25
+    #: width of the node-feature vectors in :func:`random_encoded_graph`.
+    feature_dim: int = 7
+
+    def __post_init__(self) -> None:
+        if self.num_nodes[0] < 1:
+            raise ValueError("graphs need at least one node")
+        if self.num_relations < 1:
+            raise ValueError("num_relations must be >= 1")
+
+
+def _skewed_nodes(rng: np.random.Generator, num_nodes: int, size: int,
+                  exponent: float) -> np.ndarray:
+    """Sample node ids with power-law weight — low ids become hubs."""
+    weights = 1.0 / np.arange(1, num_nodes + 1, dtype=np.float64) ** exponent
+    weights /= weights.sum()
+    return rng.choice(num_nodes, size=size, p=weights)
+
+
+def _edge_arrays(rng: np.random.Generator, config: GraphGenConfig,
+                 num_nodes: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Random (edge_index, edge_type) with skew and degenerate corners."""
+    low, high = config.edges_per_node
+    num_edges = int(round(num_nodes * rng.uniform(low, high)))
+    corner = rng.random() < config.corner_probability
+    mode = rng.integers(0, 3) if corner else -1
+    if mode == 0:                                   # no edges at all
+        return (np.zeros((2, 0), dtype=np.int64),
+                np.zeros(0, dtype=np.int64))
+    num_edges = max(num_edges, 1)
+    src = rng.integers(0, num_nodes, size=num_edges)
+    if mode == 2:                                   # strict hub star
+        dst = np.zeros(num_edges, dtype=np.int64)
+    else:
+        dst = _skewed_nodes(rng, num_nodes, num_edges, config.hub_exponent)
+    if mode == 1:                                   # single active relation
+        relation = int(rng.integers(0, config.num_relations))
+        edge_type = np.full(num_edges, relation, dtype=np.int64)
+    else:
+        edge_type = rng.integers(0, config.num_relations, size=num_edges)
+    edge_index = np.stack([src.astype(np.int64), dst.astype(np.int64)])
+    return edge_index, edge_type
+
+
+def random_paragraph(seed: int, config: Optional[GraphGenConfig] = None,
+                     labels: Optional[Sequence[str]] = None) -> ParaGraph:
+    """A random, structurally valid :class:`ParaGraph`.
+
+    The graph always passes :meth:`ParaGraph.validate`: a Child tree with
+    strictly positive weights plus random augmentation edges with zero
+    weight.  The corner sampler sometimes stops the tree early, leaving a
+    tail of isolated nodes (legal, and a pooling/layout corner).
+    """
+    config = config or GraphGenConfig()
+    rng = np.random.default_rng(seed)
+    num_nodes = int(rng.integers(config.num_nodes[0], config.num_nodes[1] + 1))
+    pool = list(labels) if labels is not None else DEFAULT_NODE_KINDS
+    graph = ParaGraph(name=f"synth_graph_{seed}")
+    for node_id in range(num_nodes):
+        label = pool[int(rng.integers(0, len(pool)))]
+        graph.add_node(label, spelling=f"v{node_id}",
+                       is_terminal=bool(rng.random() < 0.4))
+    # Child tree over the first `covered` nodes, parents getting smaller ids
+    # (mirroring the builder's preorder); occasionally the tree stops early
+    # so the high-id tail stays isolated — legal, and a pooling corner.
+    covered = num_nodes
+    if num_nodes > 1 and rng.random() < config.corner_probability:
+        covered = int(rng.integers(1, num_nodes))
+    for child in range(1, covered):
+        parent = int(rng.integers(0, child))
+        weight = float(np.exp(rng.uniform(0.0, 8.0)))   # trip-count-like span
+        graph.add_edge(parent, child, EdgeType.CHILD, weight)
+    # random augmentation edges (weight 0 by construction)
+    augmentation = [t for t in EdgeType if t is not EdgeType.CHILD]
+    extra = int(rng.integers(0, 2 * covered + 1))
+    if covered > 1 and rng.random() >= config.corner_probability:
+        for _ in range(extra):
+            src = int(rng.integers(0, covered))
+            dst = int(_skewed_nodes(rng, covered, 1, config.hub_exponent)[0])
+            graph.add_edge(src, dst, augmentation[int(rng.integers(0, len(augmentation)))])
+    return graph
+
+
+def random_encoded_graph(seed: int,
+                         config: Optional[GraphGenConfig] = None) -> EncodedGraph:
+    """Random :class:`EncodedGraph` arrays (features are dense, not one-hot).
+
+    This is the GNN-facing generator: it controls exactly the shape
+    parameters the vectorized kernels branch on, independently of what the
+    frontend can produce.
+    """
+    config = config or GraphGenConfig()
+    rng = np.random.default_rng(seed)
+    num_nodes = int(rng.integers(config.num_nodes[0], config.num_nodes[1] + 1))
+    edge_index, edge_type = _edge_arrays(rng, config, num_nodes)
+    num_edges = edge_index.shape[1]
+    edge_weight = np.where(edge_type == int(EdgeType.CHILD) % config.num_relations,
+                           rng.uniform(0.0, 8.0, size=num_edges), 0.0)
+    return EncodedGraph(
+        node_features=rng.normal(size=(num_nodes, config.feature_dim)),
+        edge_index=edge_index,
+        edge_type=edge_type,
+        edge_weight=edge_weight,
+        aux_features=np.array([float(rng.choice([1, 2, 64, 128])),
+                               float(rng.choice([1, 8, 64]))]),
+        target=float(rng.uniform(0.0, 1000.0)),
+        name=f"synth_encoded_{seed}",
+    )
+
+
+def random_batch(seed: int, num_graphs: Optional[int] = None,
+                 config: Optional[GraphGenConfig] = None) -> GraphBatch:
+    """Collate several seeded random graphs into one block-diagonal batch."""
+    rng = np.random.default_rng(seed)
+    if num_graphs is None:
+        num_graphs = int(rng.integers(1, 5))
+    graphs: List[EncodedGraph] = [
+        random_encoded_graph(seed * 1000 + index, config)
+        for index in range(num_graphs)
+    ]
+    return GraphEncoder.collate(graphs)

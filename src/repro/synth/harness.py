@@ -1,0 +1,538 @@
+"""Differential property-testing harness over the synthetic corpus.
+
+The harness is a registry of named *scenarios*.  Each scenario is one
+cross-layer invariant checked over many seeded generated cases:
+
+* ``lexer-roundtrip`` — token-stream round trip: canonically re-rendering
+  the tokens of a generated kernel and re-lexing yields the same stream,
+* ``parser-roundtrip`` — parsing is layout-insensitive and stable: the
+  original and canonically re-rendered sources parse to structurally equal
+  ASTs, and re-parsing the same text reproduces the dump bit for bit,
+* ``paragraph-invariants`` — every generated kernel builds a ParaGraph that
+  validates, with the edge-count/vocabulary invariants the paper implies,
+* ``graph-validity`` — the random-graph generator only emits valid graphs
+  and block-diagonal batches,
+* ``gnn-forward-parity`` / ``gnn-gradient-parity`` — the vectorized RGAT /
+  RGCN kernels (including the fused ``no_grad`` path) match the seed
+  ``forward_reference`` implementations on random shapes,
+* ``float32-serving-bounds`` — float32 serving stays within tolerance of
+  the float64 training-parity forward,
+* ``pooling-paths`` — the sorted-batch ``reduceat`` pooling shortcut, the
+  autodiff fallback and a NumPy oracle agree,
+* ``config-roundtrip`` — random valid configs survive
+  ``to_dict``/``from_dict``/JSON round trips unchanged.
+
+Every failure reports the integer seed of the offending case;
+``python -m repro.synth <scenario> <seed>`` replays exactly that case.
+
+Environment knobs (see TESTING.md):
+
+* ``REPRO_SYNTH_CASES`` — target *total* number of corpus cases; scenario
+  counts scale proportionally (default ≈ :data:`DEFAULT_TOTAL_CASES`).
+* ``REPRO_SYNTH_SEED`` — base-seed salt; changing it re-rolls the corpus.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..clang.dumper import dump
+from ..clang.lexer import Token, TokenKind, tokenize
+from ..clang.parser import parse_source
+from ..clang.semantics import analyze
+from ..clang.traversal import preorder, terminals_in_token_order
+from ..paragraph.builder import build_paragraph
+from ..paragraph.edges import EdgeType, NUM_EDGE_TYPES
+from ..paragraph.encoders import GraphEncoder
+from ..paragraph.variants import GraphVariant
+from ..paragraph.vocab import UNK_TOKEN, default_vocabulary
+from .graph_gen import GraphGenConfig, random_batch, random_encoded_graph, random_paragraph
+from .source_gen import generate_kernel
+
+__all__ = [
+    "CASES_ENV",
+    "DEFAULT_TOTAL_CASES",
+    "HarnessReport",
+    "SCENARIOS",
+    "ScenarioSpec",
+    "canonical_render",
+    "cases_for",
+    "corpus_total_cases",
+    "reproduce",
+    "run_cases",
+    "scenario_names",
+    "seeds_for",
+    "structural_dump",
+]
+
+CASES_ENV = "REPRO_SYNTH_CASES"
+SEED_ENV = "REPRO_SYNTH_SEED"
+
+#: how many failing seeds a report lists before truncating.
+MAX_REPORTED_FAILURES = 5
+
+
+# --------------------------------------------------------------------- #
+# canonical rendering / structural comparison helpers
+# --------------------------------------------------------------------- #
+def canonical_render(tokens: Sequence[Token]) -> str:
+    """Re-render a token stream as compilable text, one space per boundary.
+
+    Pragma tokens must become ``#pragma`` lines of their own, everything
+    else joins with single spaces — the canonical layout-free spelling of
+    the program.  ``tokenize(canonical_render(tokenize(s)))`` must equal
+    ``tokenize(s)`` up to positions.
+    """
+    parts: List[str] = []
+    for token in tokens:
+        if token.kind is TokenKind.EOF:
+            break
+        if token.kind is TokenKind.PRAGMA:
+            parts.append(f"\n#pragma {token.text}\n")
+        else:
+            parts.append(token.text + " ")
+    return "".join(parts)
+
+
+def token_signature(tokens: Sequence[Token]) -> List[Tuple[str, str]]:
+    """Position-independent view of a token stream (kind, spelling)."""
+    return [(token.kind.name, token.text) for token in tokens
+            if token.kind is not TokenKind.EOF]
+
+
+def structural_dump(node) -> str:
+    """Location-insensitive AST dump: kind, spelling and tree shape only."""
+    lines: List[str] = []
+
+    def visit(current, depth: int) -> None:
+        lines.append(f"{'  ' * depth}{current.kind} {current.spelling!r}")
+        for child in current.children:
+            visit(child, depth + 1)
+
+    visit(node, 0)
+    return "\n".join(lines)
+
+
+# --------------------------------------------------------------------- #
+# scenario checks (one seeded case each)
+# --------------------------------------------------------------------- #
+def check_lexer_roundtrip(seed: int) -> None:
+    kernel = generate_kernel(seed)
+    tokens = tokenize(kernel.source)
+    assert tokens[-1].kind is TokenKind.EOF
+    for position, token in enumerate(tokens):
+        assert token.index == position, "token indices must be consecutive"
+    positions = [(token.line, token.column) for token in tokens[:-1]]
+    assert positions == sorted(positions), "token positions must be monotone"
+
+    rendered = canonical_render(tokens)
+    relexed = tokenize(rendered)
+    assert token_signature(relexed) == token_signature(tokens), \
+        "canonical re-render changed the token stream"
+    # the canonical form is a fixpoint of render ∘ tokenize
+    assert canonical_render(relexed) == rendered
+
+
+def check_parser_roundtrip(seed: int) -> None:
+    kernel = generate_kernel(seed)
+    ast_original = parse_source(kernel.source)
+    ast_rendered = parse_source(canonical_render(tokenize(kernel.source)))
+    assert structural_dump(ast_original) == structural_dump(ast_rendered), \
+        "layout-normalized source parsed to a different tree"
+    # byte-stable: same text, same dump (locations included)
+    assert dump(parse_source(kernel.source)) == dump(ast_original)
+    # set_parents left a consistent tree behind
+    for node in preorder(ast_original):
+        for child in node.children:
+            assert child.parent is node, "stale parent back-pointer"
+
+
+def check_paragraph_invariants(seed: int) -> None:
+    kernel = generate_kernel(seed)
+    ast = analyze(parse_source(kernel.source))
+    graph = build_paragraph(ast, variant=GraphVariant.PARAGRAPH,
+                            num_threads=4, num_teams=2, name=kernel.name)
+    graph.validate()
+
+    num_ast_nodes = sum(1 for _ in preorder(ast))
+    assert graph.num_nodes == num_ast_nodes
+    counts = graph.edge_type_counts()
+    # every non-root AST node hangs off exactly one Child edge
+    assert counts[EdgeType.CHILD] == graph.num_nodes - 1
+    # NextToken edges chain the terminals into one path
+    terminals = terminals_in_token_order(ast)
+    assert counts[EdgeType.NEXT_TOKEN] == max(len(terminals) - 1, 0)
+    assert set(int(t) for t in graph.edge_types()) <= set(range(NUM_EDGE_TYPES))
+
+    # the default vocabulary covers everything the frontend can emit
+    vocabulary = default_vocabulary()
+    unk = vocabulary.index(UNK_TOKEN)
+    for label in graph.node_labels():
+        assert vocabulary.index(label) != unk, f"unknown node kind {label!r}"
+
+    # building twice is deterministic
+    rebuilt = build_paragraph(ast, variant=GraphVariant.PARAGRAPH,
+                              num_threads=4, num_teams=2)
+    assert [e.as_tuple() for e in rebuilt.edges] == \
+        [e.as_tuple() for e in graph.edges]
+
+    # ablation variants nest: raw ⊂ augmented ⊆ paragraph
+    raw = build_paragraph(ast, variant=GraphVariant.RAW_AST)
+    augmented = build_paragraph(ast, variant=GraphVariant.AUGMENTED_AST)
+    assert raw.num_edges == counts[EdgeType.CHILD]
+    assert all(edge.weight == 1.0 for edge in raw.edges)
+    assert augmented.num_edges == graph.num_edges
+
+    # encoding shape contract
+    encoder = GraphEncoder()
+    encoded = encoder.encode(graph, num_teams=2, num_threads=4)
+    assert encoded.node_features.shape == (graph.num_nodes, encoder.feature_dim)
+    assert encoded.edge_index.shape == (2, graph.num_edges)
+    assert encoded.edge_type.shape == (graph.num_edges,)
+    assert encoded.edge_weight.shape == (graph.num_edges,)
+    assert (encoded.edge_weight >= 0.0).all(), "log-scaled weights went negative"
+
+
+def check_graph_validity(seed: int) -> None:
+    graph = random_paragraph(seed)
+    graph.validate()
+    if graph.num_edges:
+        edge_index = graph.edge_index()
+        assert edge_index.min() >= 0
+        assert edge_index.max() < graph.num_nodes
+
+    encoded = GraphEncoder().encode(graph)
+    row_sums = encoded.node_features[:, :-1].sum(axis=1)
+    np.testing.assert_allclose(row_sums, 1.0)       # one-hot rows
+
+    batch = random_batch(seed, config=_GNN_SHAPES)
+    assert batch.batch.shape == (batch.node_features.shape[0],)
+    assert (np.diff(batch.batch) >= 0).all(), "collate must emit a sorted batch"
+    assert batch.aux_features.shape == (batch.num_graphs, 2)
+    if batch.edge_index.size:
+        # block-diagonal: every edge stays inside its graph's node range
+        starts = np.concatenate([[0], np.cumsum(np.bincount(
+            batch.batch, minlength=batch.num_graphs))])
+        graph_of_src = np.searchsorted(starts, batch.edge_index[0], side="right") - 1
+        graph_of_dst = np.searchsorted(starts, batch.edge_index[1], side="right") - 1
+        np.testing.assert_array_equal(graph_of_src, graph_of_dst)
+
+
+#: smaller shapes for the GNN scenarios — parity is shape-driven, not
+#: size-driven, and hundreds of cases must stay fast in tier 1.
+_GNN_SHAPES = GraphGenConfig(num_nodes=(2, 24), feature_dim=6)
+
+
+def _gnn_case(seed: int):
+    from ..gnn.rgat import RGATConv
+    from ..gnn.rgcn import RGCNConv
+    from ..nn.tensor import Tensor
+
+    rng = np.random.default_rng(seed)
+    num_relations = int(rng.choice([1, 2, NUM_EDGE_TYPES]))
+    heads = int(rng.choice([1, 2]))
+    encoded = random_encoded_graph(
+        seed, GraphGenConfig(num_nodes=_GNN_SHAPES.num_nodes,
+                             feature_dim=_GNN_SHAPES.feature_dim,
+                             num_relations=num_relations))
+    convs = [
+        RGATConv(_GNN_SHAPES.feature_dim, 3, num_relations=num_relations,
+                 heads=heads, rng=np.random.default_rng(seed + 1)),
+        RGCNConv(_GNN_SHAPES.feature_dim, 3, num_relations=num_relations,
+                 rng=np.random.default_rng(seed + 2)),
+    ]
+    return encoded, convs, Tensor
+
+
+def check_gnn_forward_parity(seed: int) -> None:
+    from ..nn.tensor import no_grad
+
+    encoded, convs, Tensor = _gnn_case(seed)
+    arguments = (encoded.edge_index, encoded.edge_type, encoded.edge_weight)
+    for conv in convs:
+        reference = conv.forward_reference(Tensor(encoded.node_features), *arguments)
+        vectorized = conv(Tensor(encoded.node_features), *arguments)
+        np.testing.assert_allclose(vectorized.data, reference.data, atol=1e-9,
+                                   err_msg=type(conv).__name__)
+        with no_grad():                 # fused inference kernel
+            fused = conv(Tensor(encoded.node_features), *arguments)
+        np.testing.assert_allclose(fused.data, reference.data, atol=1e-9,
+                                   err_msg=f"{type(conv).__name__} (no_grad)")
+
+
+def check_gnn_gradient_parity(seed: int) -> None:
+    encoded, convs, Tensor = _gnn_case(seed)
+    conv = convs[0]                     # RGAT: the layer the paper trains
+    arguments = (encoded.edge_index, encoded.edge_type, encoded.edge_weight)
+
+    x_ref = Tensor(encoded.node_features.copy(), requires_grad=True)
+    conv.zero_grad()
+    conv.forward_reference(x_ref, *arguments).pow(2.0).sum().backward()
+    reference_grads = {name: None if p.grad is None else p.grad.copy()
+                       for name, p in conv.named_parameters()}
+
+    x_vec = Tensor(encoded.node_features.copy(), requires_grad=True)
+    conv.zero_grad()
+    conv(x_vec, *arguments).pow(2.0).sum().backward()
+
+    np.testing.assert_allclose(x_vec.grad, x_ref.grad, atol=1e-9)
+    for name, parameter in conv.named_parameters():
+        expected = reference_grads[name]
+        if expected is None:
+            assert parameter.grad is None or not parameter.grad.any()
+        else:
+            np.testing.assert_allclose(parameter.grad, expected, atol=1e-9,
+                                       err_msg=name)
+
+
+def check_float32_serving_bounds(seed: int) -> None:
+    from ..gnn.models import ParaGraphModel
+
+    batch = random_batch(seed, config=_GNN_SHAPES)
+    model = ParaGraphModel(node_feature_dim=_GNN_SHAPES.feature_dim,
+                           hidden_dim=8, num_relations=NUM_EDGE_TYPES,
+                           seed=seed)
+    exact = model.predict(batch, dtype=None)
+    served = model.predict(batch, dtype=np.float32)
+    assert exact.dtype == np.float64
+    scale = 1.0 + float(np.abs(exact).max())
+    np.testing.assert_allclose(served, exact, atol=1e-3 * scale,
+                               err_msg="float32 serving drifted from float64")
+    # float64 parameters must come back bit-exact after the cast context
+    again = model.predict(batch, dtype=None)
+    np.testing.assert_array_equal(again, exact)
+
+
+def check_pooling_paths(seed: int) -> None:
+    from ..gnn.pooling import global_max_pool, global_mean_pool, global_sum_pool
+    from ..nn.tensor import Tensor, no_grad
+
+    rng = np.random.default_rng(seed)
+    num_graphs = int(rng.integers(1, 5))
+    counts = rng.integers(1, 7, size=num_graphs)
+    batch = np.repeat(np.arange(num_graphs), counts)
+    data = rng.normal(size=(batch.size, 4))
+
+    def oracle(op):
+        return np.stack([op(data[batch == g], axis=0) for g in range(num_graphs)])
+
+    for pool, op in ((global_sum_pool, np.sum), (global_mean_pool, np.mean),
+                     (global_max_pool, np.max)):
+        # sorted-batch reduceat shortcut (no grad required)
+        fast = pool(Tensor(data), batch, num_graphs)
+        np.testing.assert_allclose(fast.data, oracle(op), atol=1e-12)
+        # autodiff fallback path (requires_grad input)
+        slow = pool(Tensor(data.copy(), requires_grad=True), batch, num_graphs)
+        np.testing.assert_allclose(slow.data, oracle(op), atol=1e-12)
+        # inference shortcut under no_grad, even with requires_grad input
+        with no_grad():
+            inference = pool(Tensor(data.copy(), requires_grad=True),
+                             batch, num_graphs)
+        np.testing.assert_allclose(inference.data, oracle(op), atol=1e-12)
+
+    # an unsorted batch vector must fall back to the scatter path and agree
+    permutation = rng.permutation(batch.size)
+    shuffled_batch = batch[permutation]
+    shuffled_data = data[permutation]
+    for pool, op in ((global_sum_pool, np.sum), (global_mean_pool, np.mean),
+                     (global_max_pool, np.max)):
+        out = pool(Tensor(shuffled_data), shuffled_batch, num_graphs)
+        np.testing.assert_allclose(out.data, oracle(op), atol=1e-12)
+
+
+def check_config_roundtrip(seed: int) -> None:
+    from ..api.config import DataConfig, GraphConfig, ModelConfig, READOUTS, ReproConfig
+    from ..ml.trainer import TrainingConfig
+
+    rng = np.random.default_rng(seed)
+    platforms = ("AMD EPYC7401", "AMD MI50", "IBM POWER9", "NVIDIA V100")
+    chosen = tuple(sorted(rng.choice(platforms,
+                                     size=int(rng.integers(1, 5)),
+                                     replace=False)))
+    config = ReproConfig(
+        data=DataConfig(platforms=chosen,
+                        noisy_runtimes=bool(rng.integers(0, 2)),
+                        min_platform_samples=int(rng.integers(2, 9))),
+        graph=GraphConfig(variant=str(rng.choice([v.value for v in GraphVariant])),
+                          default_trip_count=int(rng.integers(1, 65)),
+                          include_terminal_flag=bool(rng.integers(0, 2)),
+                          log_scale_weights=bool(rng.integers(0, 2))),
+        model=ModelConfig(hidden_dim=int(rng.integers(1, 65)),
+                          conv=str(rng.choice(["rgat", "rgcn", "gat"])),
+                          readout=str(rng.choice(READOUTS)),
+                          num_conv_layers=int(rng.integers(1, 4)),
+                          heads=int(rng.integers(1, 3)),
+                          dropout=float(rng.uniform(0.0, 0.9))),
+        training=TrainingConfig(epochs=int(rng.integers(1, 20)),
+                                batch_size=int(rng.integers(1, 64)),
+                                seed=int(rng.integers(0, 1000))),
+        train_fraction=float(rng.uniform(0.1, 0.9)),
+        seed=int(rng.integers(0, 10_000)),
+    )
+    payload = config.to_dict()
+    # the dict is JSON-safe and the round trip is a fixpoint
+    rebuilt = ReproConfig.from_dict(json.loads(json.dumps(payload)))
+    assert rebuilt.to_dict() == payload
+    assert rebuilt.graph.variant is config.graph.variant
+    assert rebuilt.model == config.model
+
+
+# --------------------------------------------------------------------- #
+# the scenario registry and the case runner
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A named differential scenario: the check plus its default case count."""
+
+    name: str
+    check: Callable[[int], None]
+    default_cases: int
+    layer: str
+
+    def seeds(self, count: Optional[int] = None) -> List[int]:
+        return seeds_for(self.name, count)
+
+
+SCENARIOS: Dict[str, ScenarioSpec] = {}
+
+
+def _register(name: str, check: Callable[[int], None], default_cases: int,
+              layer: str) -> None:
+    SCENARIOS[name] = ScenarioSpec(name, check, default_cases, layer)
+
+
+_register("lexer-roundtrip", check_lexer_roundtrip, 40, "clang")
+_register("parser-roundtrip", check_parser_roundtrip, 40, "clang")
+_register("paragraph-invariants", check_paragraph_invariants, 48, "paragraph")
+_register("graph-validity", check_graph_validity, 40, "paragraph")
+_register("gnn-forward-parity", check_gnn_forward_parity, 24, "gnn")
+_register("gnn-gradient-parity", check_gnn_gradient_parity, 8, "gnn")
+_register("float32-serving-bounds", check_float32_serving_bounds, 12, "nn")
+_register("pooling-paths", check_pooling_paths, 16, "gnn")
+_register("config-roundtrip", check_config_roundtrip, 16, "api")
+
+#: sum of the per-scenario defaults — the tier-1 corpus size.
+DEFAULT_TOTAL_CASES = sum(spec.default_cases for spec in SCENARIOS.values())
+
+
+def scenario_names() -> List[str]:
+    return list(SCENARIOS)
+
+
+def _corpus_scale() -> float:
+    """Multiplier derived from ``REPRO_SYNTH_CASES`` (total corpus target)."""
+    raw = os.environ.get(CASES_ENV, "").strip()
+    if not raw:
+        return 1.0
+    try:
+        total = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"{CASES_ENV} must be an integer total case count, got {raw!r}")
+    if total < 1:
+        raise ValueError(f"{CASES_ENV} must be >= 1, got {total}")
+    return total / DEFAULT_TOTAL_CASES
+
+
+def _base_salt() -> int:
+    raw = os.environ.get(SEED_ENV, "").strip()
+    return int(raw) if raw else 0
+
+
+def cases_for(name: str) -> int:
+    """Number of cases scenario *name* runs at the current scale."""
+    spec = SCENARIOS[name]
+    return max(2, int(round(spec.default_cases * _corpus_scale())))
+
+
+def seeds_for(name: str, count: Optional[int] = None) -> List[int]:
+    """The deterministic seed list of a scenario (stable across runs)."""
+    if count is None:
+        count = cases_for(name) if name in SCENARIOS else 0
+    salt = _base_salt()
+    base = (zlib.crc32(name.encode("utf-8")) ^ (salt * 0x9E3779B1)) & 0x7FFFFFFF
+    return [base + index for index in range(count)]
+
+
+@dataclass(frozen=True)
+class HarnessReport:
+    """Outcome of one scenario sweep."""
+
+    scenario: str
+    cases: int
+    failures: Tuple[Tuple[int, str], ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+def _format_failures(name: str, report: HarnessReport) -> str:
+    shown = report.failures[:MAX_REPORTED_FAILURES]
+    seeds = [seed for seed, _ in shown]
+    lines = [
+        f"synth scenario {name!r}: {len(report.failures)}/{report.cases} "
+        f"cases failed (failing seeds: {seeds}"
+        + (", truncated" if len(report.failures) > len(shown) else "") + ")",
+        "reproduce one case with:",
+        f"  PYTHONPATH=src python -m repro.synth {name} {seeds[0]}",
+    ]
+    seed, error = shown[0]
+    lines.append(f"first failure (seed {seed}): {error}")
+    return "\n".join(lines)
+
+
+def run_cases(name: str, check: Optional[Callable[[int], None]] = None,
+              seeds: Optional[Sequence[int]] = None,
+              count: Optional[int] = None) -> HarnessReport:
+    """Run *check* over the scenario's seeds; raise with seeds on failure.
+
+    With only *name* given, the registered scenario runs at the current
+    corpus scale.  Pass *check* to sweep an unregistered (e.g. fixture-bound)
+    invariant through the same reporting machinery.
+    """
+    if check is None:
+        check = SCENARIOS[name].check
+    if seeds is None:
+        seeds = seeds_for(name, count) if name in SCENARIOS else \
+            seeds_for(name, count or 0)
+    seeds = list(seeds)
+    if not seeds:
+        raise ValueError(
+            f"scenario {name!r} resolved to zero cases; unregistered scenarios "
+            "must pass an explicit non-empty `seeds` (or `count`) so a sweep "
+            "can never silently pass by running nothing")
+    failures: List[Tuple[int, str]] = []
+    for seed in seeds:
+        try:
+            check(int(seed))
+        except Exception as error:  # noqa: BLE001 - reported with its seed
+            # first non-empty line: numpy assertion messages start with '\n'
+            detail = next((line.strip() for line in str(error).splitlines()
+                           if line.strip()), "")
+            failures.append((int(seed),
+                             f"{type(error).__name__}: {detail}"[:400]))
+    report = HarnessReport(scenario=name, cases=len(seeds),
+                           failures=tuple(failures))
+    if not report.ok:
+        raise AssertionError(_format_failures(name, report))
+    return report
+
+
+def reproduce(name: str, seed: int) -> None:
+    """Re-run exactly one generated case of a registered scenario."""
+    if name not in SCENARIOS:
+        raise KeyError(
+            f"unknown synth scenario {name!r}; known scenarios: {scenario_names()}")
+    SCENARIOS[name].check(int(seed))
+
+
+def corpus_total_cases() -> int:
+    """Total number of cases the corpus runs at the current scale."""
+    return sum(cases_for(name) for name in SCENARIOS)

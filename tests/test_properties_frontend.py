@@ -1,0 +1,72 @@
+"""Frontend property suite: lexer/parser round trips over the synth corpus.
+
+Each test sweeps one registered :mod:`repro.synth.harness` scenario across
+its seeded cases; a failure names the seed and the ``python -m repro.synth``
+command that replays it.  A few targeted corner cases that the generator
+cannot reach (pathological pragmas, comments-only trivia) ride alongside.
+"""
+
+import pytest
+
+from repro.clang import TokenKind, parse_source, tokenize
+from repro.synth import canonical_render, run_cases, structural_dump
+
+
+class TestCorpusSweeps:
+    def test_lexer_roundtrip_corpus(self):
+        report = run_cases("lexer-roundtrip")
+        assert report.ok and report.cases >= 2
+
+    def test_parser_roundtrip_corpus(self):
+        report = run_cases("parser-roundtrip")
+        assert report.ok and report.cases >= 2
+
+
+class TestTargetedCorners:
+    def test_pragma_survives_canonical_render(self):
+        source = (
+            "void f(int n) {\n"
+            "  #pragma omp parallel for collapse(2) map(tofrom: a[0:n])\n"
+            "  for (int i = 0; i < n; i++) { n += i; }\n"
+            "}\n"
+        )
+        tokens = tokenize(source)
+        pragmas = [t for t in tokens if t.kind is TokenKind.PRAGMA]
+        assert [t.text for t in pragmas] == \
+            ["omp parallel for collapse(2) map(tofrom: a[0:n])"]
+        rendered = canonical_render(tokens)
+        assert "#pragma omp parallel for collapse(2)" in rendered
+        assert structural_dump(parse_source(rendered)) == \
+            structural_dump(parse_source(source))
+
+    def test_comments_and_line_continuations_are_trivia(self):
+        commented = (
+            "// leading comment\n"
+            "void f(int n) { /* inline */ n = n + 1; // trailing\n"
+            "}\n"
+        )
+        plain = "void f(int n) { n = n + 1; }"
+        assert structural_dump(parse_source(commented)) == \
+            structural_dump(parse_source(plain))
+        continued = "#pragma omp parallel \\\n  for\nvoid g(void) { ; }\n"
+        pragma = [t for t in tokenize(continued) if t.kind is TokenKind.PRAGMA][0]
+        assert pragma.text.split() == ["omp", "parallel", "for"]
+
+    def test_non_omp_pragma_is_skipped(self):
+        source = "#pragma once\nvoid f(int n) { n = 1; }\n"
+        ast = parse_source(source)
+        assert "FunctionDecl" in structural_dump(ast)
+
+    def test_canonical_render_is_whitespace_paranoid(self):
+        # adjacent '+' tokens must never re-merge into '++'
+        source = "void f(int n) { n = n + +1; }"
+        tokens = tokenize(source)
+        again = tokenize(canonical_render(tokens))
+        texts = [t.text for t in again if t.kind is not TokenKind.EOF]
+        assert texts.count("+") == 2 and "++" not in texts
+
+    @pytest.mark.parametrize("bad", ["int x = \"unterminated;", "/* open"])
+    def test_lex_errors_carry_location(self, bad):
+        from repro.clang import LexError
+        with pytest.raises(LexError, match="line"):
+            tokenize(bad)
