@@ -1,0 +1,207 @@
+"""Serving-runtime throughput/latency benchmark: 1/2/4 workers vs inline.
+
+The PR 3 soak (``test_synth_corpus_soak.py``) measures the single-threaded
+``Session.predict_batch`` ceiling; this benchmark measures what the
+``repro.serve`` worker pool adds on the same corpus workload:
+
+* **baseline** — the inline facade serving warm corpus waves from one
+  thread (the PR 3 soak shape),
+* **pooled** — 4 client threads hammering a shared :class:`repro.serve.Server`
+  with the same waves at 1, 2 and 4 workers; per-call latencies give the
+  p50/p95/p99 tails,
+* **coalescing** — a wave of single ``submit`` calls, recording how many
+  micro-batches the window/size policy formed.
+
+Machine-readable output goes to ``benchmarks/BENCH_pr4_serve.json``
+(including the PR 3 warm-soak number when its JSON is present, for
+cross-PR comparison).  ``REPRO_BENCH_QUICK=1`` shrinks the workload for
+CI smoke jobs.
+
+Worker threads parallelise the BLAS-dominated GNN forwards (NumPy releases
+the GIL inside them), so the scaling gate is hardware-aware: on a
+multi-core machine the pool must beat one worker; on a single-core box
+(where thread scaling is physically impossible) the gate degrades to
+"no pathological collapse" and the JSON records ``cpu_count`` so readers
+can interpret the numbers.
+"""
+
+import json
+import os
+import time
+import threading
+
+import numpy as np
+
+from _reporting import report, report_json
+from repro.api import DataConfig, ModelConfig, ReproConfig, Session, get_kernel
+from repro.ml.trainer import TrainingConfig
+from repro.pipeline import SweepConfig
+from repro.serve import Server, ServerConfig
+from repro.synth import build_corpus
+
+PLATFORM = "v100"
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+
+CORPUS_SIZE = 8 if QUICK else 24
+CLIENT_THREADS = 4
+PASSES_PER_CLIENT = 2 if QUICK else 4
+WORKER_COUNTS = (1, 2, 4)
+
+
+def make_trained_session() -> Session:
+    config = ReproConfig(
+        data=DataConfig(
+            sweep=SweepConfig(size_scales=(1.0,), team_counts=(64,),
+                              thread_counts=(8, 64),
+                              kernels=[get_kernel("matmul"), get_kernel("matvec")]),
+            platforms=(PLATFORM,),
+        ),
+        # serving-weight model: wide enough that the forward is BLAS-bound
+        # (the parallelisable fraction), as a real serving model would be
+        model=ModelConfig(hidden_dim=32),
+        training=TrainingConfig(epochs=3, batch_size=16,
+                                learning_rate=2e-3, seed=0),
+        seed=0,
+    )
+    session = Session(config)
+    session.train()
+    return session
+
+
+def percentile_ms(latencies, q) -> float:
+    return float(np.percentile(np.asarray(latencies) * 1000.0, q))
+
+
+def run_clients(server: Server, requests, expected) -> dict:
+    """4 client threads × PASSES_PER_CLIENT warm waves; returns rate + tails."""
+    latencies = []
+    lock = threading.Lock()
+    errors = []
+
+    def client() -> None:
+        try:
+            for _ in range(PASSES_PER_CLIENT):
+                start = time.perf_counter()
+                got = server.predict_batch(requests, PLATFORM, dtype=None)
+                elapsed = time.perf_counter() - start
+                np.testing.assert_array_equal(got, expected)
+                with lock:
+                    latencies.append(elapsed)
+        except Exception as error:  # noqa: BLE001 - surfaced by the assert below
+            errors.append(error)
+
+    threads = [threading.Thread(target=client) for _ in range(CLIENT_THREADS)]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall_s = time.perf_counter() - start
+    assert not errors, errors[0]
+
+    total_requests = CLIENT_THREADS * PASSES_PER_CLIENT * len(requests)
+    return {
+        "requests_per_s": total_requests / max(wall_s, 1e-9),
+        "wall_s": wall_s,
+        "p50_ms": percentile_ms(latencies, 50),
+        "p95_ms": percentile_ms(latencies, 95),
+        "p99_ms": percentile_ms(latencies, 99),
+    }
+
+
+def test_serve_throughput_scales_with_workers(benchmark):
+    session = make_trained_session()
+    corpus = build_corpus(CORPUS_SIZE, seed=2026)
+    requests = corpus.sources()
+
+    # warm the construction cache + layout/scatter caches, pin the reference
+    expected = session.predict_batch(requests, PLATFORM, dtype=None)
+
+    # single-threaded inline baseline: the PR 3 soak shape
+    baseline_passes = CLIENT_THREADS * PASSES_PER_CLIENT
+    start = time.perf_counter()
+    for _ in range(baseline_passes):
+        np.testing.assert_array_equal(
+            session.predict_batch(requests, PLATFORM, dtype=None), expected)
+    baseline_s = time.perf_counter() - start
+    baseline_rps = baseline_passes * len(requests) / max(baseline_s, 1e-9)
+
+    results = {}
+    for workers in WORKER_COUNTS:
+        config = ServerConfig(num_workers=workers, max_batch_size=32,
+                              batch_window_s=0.001)
+        with Server(session, config) as server:
+            results[workers] = run_clients(server, requests, expected)
+
+    # micro-batch coalescing shape, recorded for the JSON report
+    with Server(session, ServerConfig(num_workers=2, max_batch_size=16,
+                                      batch_window_s=0.01)) as server:
+        futures = [server.submit(spec, PLATFORM) for spec in requests]
+        for future in futures:
+            future.result(timeout=60)
+        coalescing = server.stats()
+
+    benchmark.pedantic(
+        lambda: session.predict_batch(requests, PLATFORM, dtype=None),
+        rounds=1, iterations=1)
+
+    lines = [f"serving throughput ({len(requests)} kernels/wave, "
+             f"{CLIENT_THREADS} client threads x {PASSES_PER_CLIENT} waves, "
+             "float64, warm cache):",
+             f"  inline single-thread baseline : {baseline_rps:8.0f} req/s"]
+    for workers, row in results.items():
+        lines.append(
+            f"  {workers} worker(s)                   : "
+            f"{row['requests_per_s']:8.0f} req/s   "
+            f"p50 {row['p50_ms']:6.1f} ms  p95 {row['p95_ms']:6.1f} ms  "
+            f"p99 {row['p99_ms']:6.1f} ms")
+    best = max(WORKER_COUNTS,
+               key=lambda workers: results[workers]["requests_per_s"])
+    scaling = results[best]["requests_per_s"] / results[1]["requests_per_s"]
+    cores = os.cpu_count() or 1
+    lines.append(f"  best pool ({best} workers) vs 1    : {scaling:8.2f}x "
+                 f"({cores} CPU core(s) available)")
+    lines.append(f"  singles coalesced             : "
+                 f"{coalescing.singles_submitted} requests into "
+                 f"{coalescing.batches_executed} micro-batches "
+                 f"(max {coalescing.max_coalesced})")
+    report("\n".join(lines))
+
+    pr3_path = os.path.join(os.path.dirname(__file__), "BENCH_pr3_synth_soak.json")
+    pr3_warm_rps = None
+    if os.path.exists(pr3_path):
+        with open(pr3_path, encoding="utf-8") as handle:
+            pr3_warm_rps = json.load(handle).get("warm_requests_per_s")
+
+    report_json("BENCH_pr4_serve.json", {
+        "corpus_size": len(requests),
+        "client_threads": CLIENT_THREADS,
+        "passes_per_client": PASSES_PER_CLIENT,
+        "cpu_count": cores,
+        "baseline_single_thread_rps": baseline_rps,
+        "pr3_soak_warm_rps": pr3_warm_rps,
+        "workers": {str(workers): row for workers, row in results.items()},
+        "best_workers": best,
+        "best_vs_single_worker": scaling,
+        "coalescing": {
+            "singles_submitted": coalescing.singles_submitted,
+            "batches_executed": coalescing.batches_executed,
+            "max_coalesced": coalescing.max_coalesced,
+        },
+        "quick_mode": QUICK,
+    })
+
+    # every configuration served bit-identical results (asserted per wave);
+    # on parallel hardware the pool must beat one worker, on a single core
+    # it must at least not collapse under the contention
+    rates = {workers: round(row["requests_per_s"])
+             for workers, row in results.items()}
+    if cores >= 2:
+        assert results[best]["requests_per_s"] > results[1]["requests_per_s"], (
+            f"multi-worker throughput did not exceed the single-worker "
+            f"baseline on {cores} cores: {rates}")
+    else:
+        assert results[best]["requests_per_s"] >= \
+            0.6 * results[1]["requests_per_s"], (
+            f"worker-pool overhead collapsed throughput on 1 core: {rates}")
+    assert coalescing.max_coalesced >= 2, "micro-batching never coalesced"

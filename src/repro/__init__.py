@@ -16,6 +16,8 @@ et al.), including every substrate the paper depends on:
 * ``repro.hardware`` -- analytical Summit/Corona accelerator simulator,
 * ``repro.pipeline`` -- the legacy end-to-end workflow (thin shim over
   ``repro.api``),
+* ``repro.serve`` -- the concurrent micro-batching serving runtime
+  (worker pool, per-platform sharding, re-entrant inference contexts),
 * ``repro.synth`` -- seeded synthetic-scenario generators and the
   differential property-testing harness over the whole pipeline,
 * ``repro.evaluation`` -- drivers regenerating every table and figure.
@@ -59,6 +61,7 @@ _SUBPACKAGES = (
     "nn",
     "paragraph",
     "pipeline",
+    "serve",
     "synth",
 )
 

@@ -13,10 +13,20 @@ once per distinct graph — see :mod:`repro.gnn.edge_layout`), record no
 autodiff graph, and default to float32 arithmetic (``dtype=None`` restores
 float64 training parity).  ``benchmarks/test_perf_gnn_forward.py`` measures
 the forward-pass speedup and writes ``benchmarks/BENCH_pr2.json``.
+
+The facade itself is a thin client of :class:`repro.serve.Server`: every
+``predict`` / ``predict_batch`` call routes through an embedded server
+(inline by default; ``REPRO_SERVE_WORKERS`` or an explicit
+:class:`~repro.serve.ServerConfig` turn on the worker pool).  All session
+state a request touches — the graph-construction cache, the lazily trained
+models, the engine's inference/dtype switches — is lock-protected or
+context-local, so concurrent callers need no external synchronization; see
+``SERVING.md`` for the architecture and reproducibility contract.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
 
@@ -27,6 +37,7 @@ from ..ml.trainer import Trainer
 from ..paragraph.encoders import EncodedGraph
 from ..pipeline.dataset_builder import DatasetBuildResult
 from ..pipeline.workflow import PlatformResult, WorkflowResult
+from ..serve.server import Server, ServerConfig
 from .config import ReproConfig
 from .pipeline import Pipeline
 from .registries import resolve_platform
@@ -35,7 +46,6 @@ from .stages import (
     EncodeStage,
     GraphStage,
     ParseStage,
-    PredictStage,
     SourceSpec,
     TrainStage,
 )
@@ -53,37 +63,58 @@ class CacheInfo(NamedTuple):
 
 
 class _GraphCache:
-    """A small LRU cache from source-spec keys to encoded graphs."""
+    """A small LRU cache from source-spec keys to encoded graphs.
+
+    Lock-protected: one instance is shared by every :class:`repro.serve`
+    worker thread, so lookups, inserts, eviction and the hit/miss counters
+    all mutate under the lock and :meth:`info` returns one coherent
+    snapshot instead of counters read at different instants.
+    """
 
     def __init__(self, capacity: int) -> None:
         self.capacity = max(int(capacity), 0)
         self._entries: "OrderedDict[tuple, EncodedGraph]" = OrderedDict()
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
 
     def get(self, key: tuple) -> Optional[EncodedGraph]:
-        entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return entry
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
 
     def put(self, key: tuple, value: EncodedGraph) -> None:
         if self.capacity == 0:
             return
-        self._entries[key] = value
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
 
-    def clear(self) -> None:
-        self._entries.clear()
+    def clear(self, reset_stats: bool = False) -> None:
+        """Drop every entry; optionally also zero the hit/miss counters."""
+        with self._lock:
+            self._entries.clear()
+            if reset_stats:
+                self.hits = 0
+                self.misses = 0
+
+    def reset_stats(self) -> None:
+        """Zero the hit/miss counters without touching the cached graphs."""
+        with self._lock:
+            self.hits = 0
+            self.misses = 0
 
     def info(self) -> CacheInfo:
-        return CacheInfo(hits=self.hits, misses=self.misses,
-                         size=len(self._entries), capacity=self.capacity)
+        with self._lock:
+            return CacheInfo(hits=self.hits, misses=self.misses,
+                             size=len(self._entries), capacity=self.capacity)
 
 
 class Session:
@@ -91,24 +122,35 @@ class Session:
 
     Dataset building and training are lazy and memoized: the first call to
     :meth:`train` / :meth:`workflow` / :meth:`predict_batch` pays for them,
-    later calls reuse the results.
+    later calls reuse the results.  Memoization is lock-protected, so
+    concurrent first callers (e.g. serving workers) train exactly once.
 
     Parameters
     ----------
     config:
         The :class:`ReproConfig`; defaults reproduce the paper's setup.
     graph_cache_size:
-        Capacity of the LRU graph-construction cache used by the predict
-        facade (0 disables caching).
+        Capacity of the lock-protected LRU graph-construction cache used by
+        the predict facade (0 disables caching).
+    serve_config:
+        Configuration of the embedded :class:`repro.serve.Server` the
+        predict facade routes through.  Defaults to
+        :meth:`~repro.serve.ServerConfig.from_env` — inline execution
+        unless ``REPRO_SERVE_WORKERS`` asks for a worker pool.
     """
 
     def __init__(self, config: Optional[ReproConfig] = None,
-                 graph_cache_size: int = 256) -> None:
+                 graph_cache_size: int = 256,
+                 serve_config: Optional[ServerConfig] = None) -> None:
         self.config = config or ReproConfig()
         self.encoder = self.config.make_encoder()
         self._cache = _GraphCache(graph_cache_size)
         self._build: Optional[DatasetBuildResult] = None
         self._platform_results: Optional[Dict[str, PlatformResult]] = None
+        self._train_lock = threading.RLock()
+        self._serve_config = serve_config
+        self._server: Optional[Server] = None
+        self._server_lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
     @property
@@ -121,23 +163,26 @@ class Session:
     # ------------------------------------------------------------------ #
     def build_dataset(self) -> DatasetBuildResult:
         """Build (once) the per-platform datasets of the configured sweep."""
-        if self._build is None:
-            context = Pipeline([DatasetStage(self.config, encoder=self.encoder)]).run()
-            self._build = context["build"]
-        return self._build
+        with self._train_lock:
+            if self._build is None:
+                context = Pipeline([DatasetStage(self.config,
+                                                 encoder=self.encoder)]).run()
+                self._build = context["build"]
+            return self._build
 
     def train(self) -> Dict[str, PlatformResult]:
         """Train (once) one model per platform; returns the per-platform results."""
-        if self._platform_results is None:
-            if self._build is None:
-                context = Pipeline([DatasetStage(self.config, encoder=self.encoder),
-                                    TrainStage(self.config)]).run()
-                self._build = context["build"]
-            else:
-                context = Pipeline([TrainStage(self.config)]).run(
-                    build=self._build, encoder=self.encoder)
-            self._platform_results = context["platform_results"]
-        return self._platform_results
+        with self._train_lock:
+            if self._platform_results is None:
+                if self._build is None:
+                    context = Pipeline([DatasetStage(self.config, encoder=self.encoder),
+                                        TrainStage(self.config)]).run()
+                    self._build = context["build"]
+                else:
+                    context = Pipeline([TrainStage(self.config)]).run(
+                        build=self._build, encoder=self.encoder)
+                self._platform_results = context["platform_results"]
+            return self._platform_results
 
     def workflow(self) -> WorkflowResult:
         """The legacy one-call result shape (datasets + trained platforms)."""
@@ -204,6 +249,21 @@ class Session:
                     encoded[index] = graph
         return encoded  # type: ignore[return-value]
 
+    def server(self) -> Server:
+        """The embedded :class:`repro.serve.Server` the facade serves through.
+
+        Created lazily (once) from ``serve_config`` — inline execution by
+        default, a worker pool when ``REPRO_SERVE_WORKERS`` (or an explicit
+        config) asks for one.  For a standalone runtime with its own knobs,
+        construct ``repro.serve.Server(session, ServerConfig(...))``
+        directly; any number of servers can share one session.
+        """
+        with self._server_lock:
+            if self._server is None:
+                self._server = Server(
+                    self, self._serve_config or ServerConfig.from_env())
+            return self._server
+
     def predict_batch(self, sources: Sequence, platform, *,
                       sizes=None, num_teams: int = 64, num_threads: int = 64,
                       snippet: bool = False, dtype=np.float32) -> np.ndarray:
@@ -220,21 +280,21 @@ class Session:
         (``repro.nn.no_grad``), and — by default — float32 arithmetic.
         Pass ``dtype=None`` for full float64 parity with training-time
         evaluation (predictions differ by well under one part in 1e-4).
+        Empty batches return an empty array in the serving dtype
+        (float64 when ``dtype=None``).
 
-        Not thread-safe: the fast path toggles process-global engine state
-        (``repro.nn.Tensor.inference``, the default dtype, and temporarily
-        cast parameter views), so concurrent serving needs one session —
-        and one model — per worker, or an external lock around this call.
+        Thread-safe: this is a thin client of the embedded
+        :class:`repro.serve.Server` (see :meth:`server`), all engine
+        inference/dtype state is context-local, and every shared cache is
+        lock-protected — concurrent callers need no external lock.  The
+        request list executes as one job with its composition preserved,
+        so for a fixed list the results are bit-reproducible regardless of
+        concurrent traffic.
         """
         specs = [SourceSpec.of(source, sizes=sizes, num_teams=num_teams,
                                num_threads=num_threads) for source in sources]
-        if not specs:
-            return np.zeros(0)
-        trainer = self.trainer_for(platform)
-        encoded = self._encode_specs(specs, snippet=snippet)
-        context = Pipeline([PredictStage(dtype=dtype)]).run(encoded=encoded,
-                                                            trainer=trainer)
-        return context["predictions"]
+        return self.server().predict_specs(specs, platform, snippet=snippet,
+                                           dtype=dtype)
 
     def predict(self, source, platform, *, sizes=None, num_teams: int = 64,
                 num_threads: int = 64, snippet: bool = False,
@@ -246,9 +306,21 @@ class Session:
 
     # ------------------------------------------------------------------ #
     def cache_info(self) -> CacheInfo:
-        """Hit/miss statistics of the graph-construction cache."""
+        """One coherent snapshot of the graph-construction cache counters."""
         return self._cache.info()
 
-    def clear_cache(self) -> None:
-        """Drop every cached encoded graph (hit/miss counters are kept)."""
-        self._cache.clear()
+    def clear_cache(self, reset_stats: bool = False) -> None:
+        """Drop every cached encoded graph; ``reset_stats=True`` also zeroes
+        the hit/miss counters (they are kept by default)."""
+        self._cache.clear(reset_stats=reset_stats)
+
+    def reset_cache_stats(self) -> None:
+        """Zero the cache hit/miss counters without dropping cached graphs."""
+        self._cache.reset_stats()
+
+    def close(self) -> None:
+        """Shut down the embedded server's worker pool, if one was started."""
+        with self._server_lock:
+            if self._server is not None:
+                self._server.close()
+                self._server = None

@@ -17,12 +17,15 @@ Layouts are memoized in a content-addressed LRU cache (:class:`EdgeLayoutCache`)
 keyed by a digest of the arrays, so repeated inference over the same graph —
 the :class:`repro.api.Session` serving path, whose construction cache returns
 identical encoded graphs — never re-sorts or re-validates, regardless of
-which batch object the arrays travel in.
+which batch object the arrays travel in.  The cache (and each layout's
+per-dtype scatter-matrix memo) is lock-protected: one process-wide instance
+is shared by every :mod:`repro.serve` worker.
 """
 
 from __future__ import annotations
 
 import hashlib
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, NamedTuple, Optional, Tuple
@@ -70,6 +73,9 @@ class RelationalEdgeLayout:
     #: per-dtype cached sparse scatter matrices for the message aggregation
     _matrices: Dict[str, object] = field(default_factory=dict, compare=False,
                                          repr=False)
+    #: guards ``_matrices`` — layouts are shared across serving workers
+    _matrices_lock: threading.Lock = field(default_factory=threading.Lock,
+                                           compare=False, repr=False)
 
     @property
     def num_edges(self) -> int:
@@ -162,11 +168,14 @@ class RelationalEdgeLayout:
         """The cached sparse dst-aggregation matrix for *dtype* (or ``None``
         when scipy is unavailable); ``matrix @ messages`` sums per node."""
         key = np.dtype(dtype).str
-        matrix = self._matrices.get(key)
-        if matrix is None and key not in self._matrices:
-            matrix = _build_scatter_matrix(self.dst, self.num_nodes, dtype)
-            self._matrices[key] = matrix
-        return matrix
+        matrices = self._matrices
+        if key in matrices:          # lock-free fast path (GIL-atomic read)
+            return matrices[key]
+        with self._matrices_lock:
+            if key not in matrices:
+                matrices[key] = _build_scatter_matrix(self.dst, self.num_nodes,
+                                                      dtype)
+            return matrices[key]
 
 
 class CacheInfo(NamedTuple):
@@ -185,11 +194,19 @@ class EdgeLayoutCache:
     node/relation counts, so the cache works across distinct array or batch
     objects carrying the same graph (hashing ~3k edges costs microseconds;
     the sort + validation it saves costs much more, three layers per forward).
+
+    Thread-safe: lookup, insertion, eviction and the hit/miss counters are
+    lock-protected, so one cache instance (including the process-wide
+    default) is shared by every serving worker.  Layout construction itself
+    runs outside the lock; concurrent misses on the same graph build
+    duplicate layouts and the first insert wins, keeping "same content →
+    same object" true for later callers.
     """
 
     def __init__(self, capacity: int = 128) -> None:
         self.capacity = max(int(capacity), 0)
         self._entries: "OrderedDict[bytes, RelationalEdgeLayout]" = OrderedDict()
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
 
@@ -207,26 +224,35 @@ class EdgeLayoutCache:
     def get(self, edge_index: np.ndarray, edge_type: Optional[np.ndarray],
             num_nodes: int, num_relations: int) -> RelationalEdgeLayout:
         key = self._key(edge_index, edge_type, num_nodes, num_relations)
-        layout = self._entries.get(key)
-        if layout is not None:
-            self._entries.move_to_end(key)
-            self.hits += 1
-            return layout
-        self.misses += 1
+        with self._lock:
+            layout = self._entries.get(key)
+            if layout is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return layout
+            self.misses += 1
         layout = RelationalEdgeLayout.build(edge_index, edge_type,
                                             num_nodes, num_relations)
         if self.capacity:
-            self._entries[key] = layout
-            while len(self._entries) > self.capacity:
-                self._entries.popitem(last=False)
+            with self._lock:
+                existing = self._entries.get(key)
+                if existing is not None:
+                    self._entries.move_to_end(key)
+                    return existing
+                self._entries[key] = layout
+                while len(self._entries) > self.capacity:
+                    self._entries.popitem(last=False)
         return layout
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def info(self) -> CacheInfo:
-        return CacheInfo(hits=self.hits, misses=self.misses,
-                         size=len(self._entries), capacity=self.capacity)
+        """A coherent snapshot of the counters and size (taken under the lock)."""
+        with self._lock:
+            return CacheInfo(hits=self.hits, misses=self.misses,
+                             size=len(self._entries), capacity=self.capacity)
 
 
 #: process-wide default cache; sized for a serving tier's working set of

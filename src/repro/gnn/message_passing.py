@@ -17,6 +17,7 @@ aggregate → update scheme over an edge list:
 from __future__ import annotations
 
 import hashlib
+import threading
 from collections import OrderedDict
 from typing import Optional, Tuple
 
@@ -63,9 +64,11 @@ def add_self_loops(edge_index: np.ndarray, num_nodes: int,
 
 
 #: content-addressed LRU for :func:`cached_add_self_loops` (key: digest of the
-#: inputs); sized for a serving tier's working set of distinct graphs.
+#: inputs); sized for a serving tier's working set of distinct graphs and
+#: lock-protected so concurrent serving workers can share it.
 _SELF_LOOP_CACHE: "OrderedDict[bytes, Tuple[np.ndarray, Optional[np.ndarray], Optional[np.ndarray]]]" = OrderedDict()
 _SELF_LOOP_CACHE_CAPACITY = 128
+_SELF_LOOP_CACHE_LOCK = threading.Lock()
 
 
 def cached_add_self_loops(edge_index: np.ndarray, num_nodes: int,
@@ -88,19 +91,25 @@ def cached_add_self_loops(edge_index: np.ndarray, num_nodes: int,
         if extra is not None:
             digest.update(np.ascontiguousarray(extra).tobytes())
     key = digest.digest()
-    hit = _SELF_LOOP_CACHE.get(key)
-    if hit is not None:
-        _SELF_LOOP_CACHE.move_to_end(key)
-        return hit
+    with _SELF_LOOP_CACHE_LOCK:
+        hit = _SELF_LOOP_CACHE.get(key)
+        if hit is not None:
+            _SELF_LOOP_CACHE.move_to_end(key)
+            return hit
     result = add_self_loops(edge_index, num_nodes, edge_type=edge_type,
                             self_loop_type=self_loop_type, edge_weight=edge_weight,
                             self_loop_weight=self_loop_weight)
     for array in result:
         if array is not None:
             array.setflags(write=False)
-    _SELF_LOOP_CACHE[key] = result
-    while len(_SELF_LOOP_CACHE) > _SELF_LOOP_CACHE_CAPACITY:
-        _SELF_LOOP_CACHE.popitem(last=False)
+    with _SELF_LOOP_CACHE_LOCK:
+        existing = _SELF_LOOP_CACHE.get(key)
+        if existing is not None:
+            _SELF_LOOP_CACHE.move_to_end(key)
+            return existing
+        _SELF_LOOP_CACHE[key] = result
+        while len(_SELF_LOOP_CACHE) > _SELF_LOOP_CACHE_CAPACITY:
+            _SELF_LOOP_CACHE.popitem(last=False)
     return result
 
 

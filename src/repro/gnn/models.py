@@ -21,9 +21,10 @@ import numpy as np
 
 from ..api.registries import conv_registry, register_conv
 from ..nn import functional as F
+from ..nn.context import InferenceContext
 from ..nn.layers import Dropout, Linear
-from ..nn.module import Module, parameters_as
-from ..nn.tensor import Tensor, concatenate, default_dtype, no_grad
+from ..nn.module import Module
+from ..nn.tensor import Tensor, concatenate
 from ..paragraph.encoders import GraphBatch
 from ..paragraph.edges import NUM_EDGE_TYPES
 from .edge_layout import get_edge_layout
@@ -181,21 +182,20 @@ class ParaGraphModel(Module):
     def predict(self, batch: GraphBatch, dtype=None) -> np.ndarray:
         """Inference helper returning a plain NumPy array.
 
-        Runs under :func:`repro.nn.no_grad` — no autodiff graph is recorded —
-        and, when *dtype* is given (e.g. ``np.float32`` for serving), casts
-        parameters and activations to it for the duration of the forward
-        pass; ``dtype=None`` keeps full float64 training parity.
+        Runs inside an :class:`repro.nn.InferenceContext` — no autodiff
+        graph is recorded, and when *dtype* is given (``np.float32`` for
+        serving) parameters and activations resolve to that dtype for the
+        duration of the forward pass; ``dtype=None`` keeps full float64
+        training parity.  The context is thread-local, so concurrent
+        ``predict`` calls (even in different dtypes, on a shared model)
+        don't interfere: parameter views are immutable per-context casts,
+        never in-place mutations.  The shared ``training`` flag is
+        deliberately left untouched (eval semantics come from the
+        inference context itself — ``Dropout`` is identity under it), so
+        serving never mutates module state a concurrent thread observes.
         """
-        was_training = self.training
-        self.eval()
-        try:
-            with no_grad():
-                if dtype is None:
-                    return self.forward(batch).data.copy()
-                with default_dtype(dtype), parameters_as(self, dtype):
-                    return self.forward(batch).data.copy()
-        finally:
-            self.train(was_training)
+        with InferenceContext(dtype=dtype):
+            return self.forward(batch).data.copy()
 
 
 class COMPOFFStyleMLP(Module):

@@ -14,7 +14,7 @@ from typing import Optional
 import numpy as np
 
 from ..nn import functional as F
-from ..nn.tensor import Tensor, concatenate
+from ..nn.tensor import Tensor, concatenate, is_inference
 
 
 def _sorted_segment_reduce(data: np.ndarray, batch: np.ndarray,
@@ -32,7 +32,7 @@ def _sorted_segment_reduce(data: np.ndarray, batch: np.ndarray,
 def global_mean_pool(x: Tensor, batch: np.ndarray, num_graphs: int) -> Tensor:
     """Average node embeddings per graph (the paper's readout)."""
     batch = np.asarray(batch, dtype=np.int64)
-    if Tensor.inference or not x.requires_grad:
+    if is_inference() or not x.requires_grad:
         sums = _sorted_segment_reduce(x.data, batch, num_graphs, np.add, 0.0)
         if sums is not None:
             counts = np.zeros((num_graphs, 1), dtype=x.data.dtype)
@@ -44,7 +44,7 @@ def global_mean_pool(x: Tensor, batch: np.ndarray, num_graphs: int) -> Tensor:
 def global_sum_pool(x: Tensor, batch: np.ndarray, num_graphs: int) -> Tensor:
     """Sum node embeddings per graph."""
     batch = np.asarray(batch, dtype=np.int64)
-    if Tensor.inference or not x.requires_grad:
+    if is_inference() or not x.requires_grad:
         sums = _sorted_segment_reduce(x.data, batch, num_graphs, np.add, 0.0)
         if sums is not None:
             return Tensor(sums, dtype=x.data.dtype)
@@ -55,7 +55,7 @@ def global_max_pool(x: Tensor, batch: np.ndarray, num_graphs: int) -> Tensor:
     """Per-graph elementwise maximum (non-differentiable ties broken evenly)."""
     batch = np.asarray(batch, dtype=np.int64)
     data = x.data
-    if Tensor.inference or not x.requires_grad:
+    if is_inference() or not x.requires_grad:
         # no gradient routing needed — the tie-splitting machinery below only
         # exists to spread gradient mass, and its value equals the max exactly
         seg_max = _sorted_segment_reduce(data, batch, num_graphs,
@@ -66,7 +66,7 @@ def global_max_pool(x: Tensor, batch: np.ndarray, num_graphs: int) -> Tensor:
     seg_max = np.full((num_graphs, data.shape[1]), -np.inf, dtype=data.dtype)
     np.maximum.at(seg_max, batch, data)
     seg_max[~np.isfinite(seg_max)] = 0.0
-    if Tensor.inference or not x.requires_grad:
+    if is_inference() or not x.requires_grad:
         return Tensor(seg_max, dtype=data.dtype)
     mask = (data == seg_max[batch]).astype(np.float64)
     # normalize ties so gradient mass stays 1 per (graph, feature)

@@ -34,7 +34,7 @@ import numpy as np
 from ..nn import functional as F
 from ..nn import init
 from ..nn.module import Parameter
-from ..nn.tensor import Tensor, concatenate, segment_sum_data
+from ..nn.tensor import Tensor, concatenate, is_inference, segment_sum_data
 from .edge_layout import RelationalEdgeLayout, get_edge_layout
 from .message_passing import MessagePassing, validate_edge_index
 
@@ -127,7 +127,7 @@ class RGATConv(MessagePassing):
 
         heads, out_channels = self.heads, self.out_channels
 
-        if num_edges and Tensor.inference:
+        if num_edges and is_inference():
             # inference fast path: fused pure-NumPy kernel, no Tensor ops
             return self._forward_fused(x, layout, edge_weight)
 
@@ -191,14 +191,19 @@ class RGATConv(MessagePassing):
         fold the attention vectors into the projection
         (``score = x @ (W · att)``), shape ``(F, R*H)`` — attention scores
         never materialise the per-node, per-relation feature block.  Cached
-        per conv, keyed by the identity of the (possibly dtype-cast)
-        parameter arrays, so serving reuses one pack until weights change.
+        per conv *and per dtype* (float32 serving and float64 parity calls
+        interleave across serving threads), keyed by the identity of the
+        (possibly dtype-cast) parameter arrays so a pack lives until the
+        weights change; entries are idempotent, so racing builders are safe
+        without a lock.
         """
         weight, att_src, att_dst = self.weight.data, self.att_src.data, self.att_dst.data
-        cached = self.__dict__.get("_fused_pack_cache")
+        key = np.dtype(dtype).str
+        cache = self.__dict__.setdefault("_fused_pack_cache", {})
+        cached = cache.get(key)
         if cached is not None and cached[0] is weight and cached[1] is att_src \
-                and cached[2] is att_dst and cached[3] == np.dtype(dtype).str:
-            return cached[4:]
+                and cached[2] is att_dst:
+            return cached[3:]
         num_relations, in_channels = weight.shape[0], weight.shape[1]
         heads, out_channels = self.heads, self.out_channels
         w4 = weight.reshape(num_relations, in_channels, heads, out_channels)
@@ -210,9 +215,8 @@ class RGATConv(MessagePassing):
         packed_a_dst = np.ascontiguousarray(
             np.einsum("rfhc,rhc->rfh", w4, att_dst)
             .transpose(1, 0, 2).reshape(in_channels, -1))
-        self.__dict__["_fused_pack_cache"] = (
-            weight, att_src, att_dst, np.dtype(dtype).str,
-            packed_w, packed_a_src, packed_a_dst)
+        cache[key] = (weight, att_src, att_dst,
+                      packed_w, packed_a_src, packed_a_dst)
         return packed_w, packed_a_src, packed_a_dst
 
     def _forward_fused(self, x: Tensor, layout: RelationalEdgeLayout,

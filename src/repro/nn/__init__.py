@@ -6,13 +6,17 @@ pieces the ParaGraph GNN and the COMPOFF baseline are built from.
 
 Inference fast path: :func:`no_grad` disables closure/graph recording,
 :func:`default_dtype` switches serving forwards to float32, and
-:func:`parameters_as` temporarily views a module's parameters in a cast
-dtype (restoring the float64 originals bit-exactly).  Segment reductions
-(``scatter_add``) route through cached sparse scatter matrices when scipy
-is present.
+:func:`parameters_as` views a module's parameters in a cast dtype (the
+stored float64 arrays are never touched).  All of that state is
+**context-local** (contextvar-backed, :mod:`repro.nn.context`):
+:class:`InferenceContext` bundles it into one scoped, re-entrant switch,
+so concurrent serving workers need no external lock.  Segment reductions
+(``scatter_add``) route through lock-protected cached sparse scatter
+matrices when scipy is present.
 """
 
 from . import functional
+from .context import InferenceContext, serving_active, serving_scope
 from .init import kaiming_uniform, xavier_normal, xavier_uniform
 from .layers import MLP, Dropout, Embedding, Linear, ReLU, Sequential
 from .losses import HuberLoss, MAELoss, MSELoss
@@ -24,6 +28,7 @@ from .tensor import (
     default_dtype,
     get_default_dtype,
     is_grad_enabled,
+    is_inference,
     no_grad,
     ones,
     set_default_dtype,
@@ -36,6 +41,7 @@ __all__ = [
     "Dropout",
     "Embedding",
     "HuberLoss",
+    "InferenceContext",
     "Linear",
     "MAELoss",
     "MLP",
@@ -52,10 +58,13 @@ __all__ = [
     "functional",
     "get_default_dtype",
     "is_grad_enabled",
+    "is_inference",
     "kaiming_uniform",
     "no_grad",
     "ones",
     "parameters_as",
+    "serving_active",
+    "serving_scope",
     "set_default_dtype",
     "stack",
     "xavier_normal",

@@ -1,0 +1,181 @@
+"""Scoped, re-entrant engine state: the :class:`InferenceContext` substrate.
+
+Before this module existed the engine kept its inference state in process
+globals (``Tensor.inference``, a module-level default dtype, and parameter
+arrays mutated in place by ``parameters_as``), which made every serving
+forward a critical section: two threads predicting concurrently would leak
+dtype and no-grad state into each other.  All of that state now lives in
+:mod:`contextvars` variables:
+
+* **gradient recording** — ``no_grad`` flips a context-local flag, so one
+  thread running an inference forward never disables autodiff for another
+  thread training in parallel,
+* **default dtype** — ``default_dtype(np.float32)`` overlays the dtype for
+  the current context only; the process-wide *base* default (mutated by the
+  legacy :func:`repro.nn.set_default_dtype`) is untouched,
+* **parameter dtype overlay** — ``parameters_as`` publishes a dtype through
+  :data:`_PARAM_DTYPE`; :class:`~repro.nn.module.Parameter` reads resolve to
+  memoized, read-only cast views while the overlay is active and the stored
+  float64 arrays are never modified,
+* **serving scope** — :func:`serving_scope` marks "a serving runtime owns
+  this context"; :func:`repro.nn.set_default_dtype` emits a
+  ``DeprecationWarning`` when library code tries to mutate the process-wide
+  default underneath it.
+
+A newly started thread begins from every contextvar's *default* (no state
+crosses thread boundaries), which is exactly the isolation the
+:mod:`repro.serve` worker pool needs: every worker enters its own
+:class:`InferenceContext` per micro-batch and no cross-worker state exists
+at all.
+
+This module is imported by :mod:`repro.nn.tensor` and must stay free of
+``repro`` imports.
+"""
+
+from __future__ import annotations
+
+import threading as _threading
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Optional
+
+import numpy as np
+
+__all__ = [
+    "InferenceContext",
+    "current_default_dtype",
+    "grad_recording_enabled",
+    "parameter_dtype",
+    "serving_active",
+    "serving_scope",
+]
+
+#: ``True`` while a :func:`repro.nn.no_grad` / :class:`InferenceContext`
+#: block is active in the *current* context — ops then skip closure/graph
+#: recording.  Context-local: other threads keep recording.
+_INFERENCE: "ContextVar[bool]" = ContextVar("repro_nn_inference", default=False)
+
+#: context-local default-dtype overlay (``None`` → fall back to the
+#: process-wide base default below).
+_DTYPE_OVERRIDE: "ContextVar[Optional[np.dtype]]" = ContextVar(
+    "repro_nn_default_dtype", default=None)
+
+#: context-local parameter-view overlay (``None`` → parameters read their
+#: stored arrays).  The value is ``(default_dtype, per_param)``: the
+#: context-wide dtype every Parameter resolves to (``None`` for "no blanket
+#: cast") plus a mapping of ``id(parameter) -> dtype`` for module-scoped
+#: :func:`repro.nn.module.parameters_as` overlays.  See
+#: :class:`repro.nn.module.Parameter`.
+_PARAM_DTYPE: "ContextVar[Optional[tuple]]" = ContextVar(
+    "repro_nn_param_dtype", default=None)
+
+#: nesting depth of active serving scopes in the current context.
+_SERVING_DEPTH: "ContextVar[int]" = ContextVar("repro_nn_serving_depth", default=0)
+
+#: the process-wide *base* default dtype; only the legacy, user-facing
+#: :func:`repro.nn.set_default_dtype` mutates it.
+_BASE_DTYPE: np.dtype = np.dtype(np.float64)
+
+
+def _validate_float_dtype(dtype) -> np.dtype:
+    dtype = np.dtype(dtype)
+    if dtype.kind != "f":
+        raise TypeError(f"default dtype must be a float dtype, got {dtype}")
+    return dtype
+
+
+def grad_recording_enabled() -> bool:
+    """Whether ops record backward closures in the current context."""
+    return not _INFERENCE.get()
+
+
+def current_default_dtype() -> np.dtype:
+    """The dtype new tensors default to in the current context."""
+    override = _DTYPE_OVERRIDE.get()
+    return override if override is not None else _BASE_DTYPE
+
+
+def parameter_dtype() -> Optional[tuple]:
+    """The active parameter-view overlay ``(default_dtype, per_param)``,
+    or ``None`` when parameters read their stored arrays."""
+    return _PARAM_DTYPE.get()
+
+
+def set_base_dtype(dtype) -> np.dtype:
+    """Mutate the process-wide base default dtype; returns the previous one."""
+    global _BASE_DTYPE
+    previous = _BASE_DTYPE
+    _BASE_DTYPE = _validate_float_dtype(dtype)
+    return previous
+
+
+def serving_active() -> bool:
+    """Whether a serving runtime owns the current context."""
+    return _SERVING_DEPTH.get() > 0
+
+
+@contextmanager
+def serving_scope():
+    """Mark the current context as serving-owned (re-entrant).
+
+    The :mod:`repro.serve` workers and the :class:`repro.api.Session`
+    serving facade wrap request execution in this scope; inside it,
+    mutating process-global engine state (``set_default_dtype``) raises a
+    ``DeprecationWarning`` because the scoped equivalents are the supported
+    mechanism.
+    """
+    token = _SERVING_DEPTH.set(_SERVING_DEPTH.get() + 1)
+    try:
+        yield
+    finally:
+        _SERVING_DEPTH.reset(token)
+
+
+class InferenceContext:
+    """One scoped bundle of engine inference state (re-entrant, thread-safe).
+
+    Entering the context switches the *current execution context only* to:
+
+    * no-grad forwards (unless ``grad=True``),
+    * *dtype* as the default for newly created tensors (when given),
+    * *dtype* views for every :class:`~repro.nn.module.Parameter` read
+      (when given) — immutable memoized casts, never in-place mutation,
+    * optionally a serving scope (``serving=True``).
+
+    ``InferenceContext(dtype=np.float32)`` is the serving configuration;
+    ``InferenceContext()`` is plain float64 ``no_grad``.  Because every bit
+    of state is contextvar-backed, any number of threads can hold distinct
+    ``InferenceContext``\\ s at once and training code on other threads keeps
+    recording gradients in float64.  One instance may be entered
+    re-entrantly and even shared across threads (the enter/exit token
+    stacks are thread-local — contextvar tokens must be reset in the
+    thread that created them).
+    """
+
+    def __init__(self, dtype=None, grad: bool = False,
+                 serving: bool = False) -> None:
+        self.dtype = None if dtype is None else _validate_float_dtype(dtype)
+        self.grad = bool(grad)
+        self.serving = bool(serving)
+        self._stacks = _threading.local()
+
+    def __enter__(self) -> "InferenceContext":
+        tokens = []
+        if not self.grad:
+            tokens.append((_INFERENCE, _INFERENCE.set(True)))
+        if self.dtype is not None:
+            tokens.append((_DTYPE_OVERRIDE, _DTYPE_OVERRIDE.set(self.dtype)))
+            # blanket overlay: every Parameter read in this context resolves
+            # to self.dtype (serving runs exactly one model per context)
+            tokens.append((_PARAM_DTYPE, _PARAM_DTYPE.set((self.dtype, {}))))
+        if self.serving:
+            tokens.append((_SERVING_DEPTH, _SERVING_DEPTH.set(_SERVING_DEPTH.get() + 1)))
+        stack = getattr(self._stacks, "tokens", None)
+        if stack is None:
+            stack = self._stacks.tokens = []
+        stack.append(tokens)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        for var, token in reversed(self._stacks.tokens.pop()):
+            var.reset(token)

@@ -15,7 +15,7 @@ import numpy as np
 from . import functional as F
 from . import init
 from .module import Module, Parameter
-from .tensor import Tensor, concatenate
+from .tensor import Tensor, concatenate, is_inference
 
 
 class Linear(Module):
@@ -51,6 +51,11 @@ class Dropout(Module):
         self.rng = rng or np.random.default_rng()
 
     def forward(self, x: Tensor) -> Tensor:
+        # the inference fast path is always identity: the shared `training`
+        # flag is not context-local, so a concurrent train()/eval() toggle
+        # must not be able to switch dropout on under a serving forward
+        if is_inference():
+            return x
         return F.dropout(x, self.p, self.training, self.rng)
 
 

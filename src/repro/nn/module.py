@@ -4,6 +4,17 @@ A :class:`Module` owns :class:`Parameter` tensors and child modules, exposes
 them through :meth:`parameters` / :meth:`named_parameters`, and supports
 ``train()`` / ``eval()`` mode switching plus ``state_dict`` round-trips for
 checkpointing.
+
+Serving dtype views are **per-context**, not in-place: while a
+:func:`parameters_as` (module-scoped) or
+:class:`~repro.nn.context.InferenceContext` (context-wide) dtype overlay
+is active, the affected :class:`Parameter` reads resolve to memoized,
+read-only cast views of their stored arrays.  The stored (float64) arrays are
+never touched by serving, so concurrent threads serving in different
+dtypes — or training *a different model* — read exactly the parameters
+they expect.  Optimizer steps reassign parameter arrays one at a time,
+so training the *same* model that is being served concurrently yields
+torn weight snapshots; serve from quiescent (trained) models.
 """
 
 from __future__ import annotations
@@ -13,55 +24,89 @@ from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
+from .context import _PARAM_DTYPE
 from .tensor import Tensor
 
+#: the ``data`` slot descriptor of :class:`Tensor`; :class:`Parameter`
+#: shadows it with the overlay-aware property below but stores through it.
+_TENSOR_DATA = Tensor.__dict__["data"]
 
-def _cast_parameter(parameter: "Parameter", dtype: np.dtype) -> np.ndarray:
-    """Cast one parameter's data, memoized per parameter.
 
-    The cast array is cached on the parameter and keyed by the identity of
-    the source array, so repeated serving calls reuse one buffer; optimizer
+def _cast_parameter(parameter: "Parameter", base: np.ndarray,
+                    dtype: np.dtype) -> np.ndarray:
+    """An immutable cast view of one parameter's array, memoized per dtype.
+
+    Views are keyed by (dtype, identity of the stored array): optimizer
     steps and ``load_state_dict`` reassign ``data`` (a new array object),
-    which invalidates the cache automatically.
+    which invalidates the cached cast automatically.  Entries are written
+    read-only so no caller can mutate a view other contexts share; racing
+    builders produce identical arrays, so the unlocked dict is safe.
     """
-    cached = parameter.__dict__.get("_cast_cache")
-    if cached is not None and cached[0] is parameter.data and cached[1] == dtype.str:
-        return cached[2]
-    cast = parameter.data.astype(dtype)
-    parameter.__dict__["_cast_cache"] = (parameter.data, dtype.str, cast)
+    cache = parameter.__dict__.get("_cast_cache")
+    if cache is None:
+        cache = parameter.__dict__.setdefault("_cast_cache", {})
+    entry = cache.get(dtype.str)
+    if entry is not None and entry[0] is base:
+        return entry[1]
+    cast = base.astype(dtype)
+    cast.setflags(write=False)
+    cache[dtype.str] = (base, cast)
     return cast
 
 
 @contextmanager
 def parameters_as(module: "Module", dtype):
-    """Temporarily view every parameter of *module* in *dtype*.
+    """View every parameter of *module* in *dtype* for the current context.
 
     The serving fast path runs float32 forwards through models trained in
-    float64: inside the block each parameter's ``data`` is a cast copy
-    (memoized, so repeated predictions don't re-cast), and on exit the
-    original float64 arrays are restored bit-exactly (a cast round-trip would
-    lose precision).  Training must not run inside the block.
+    float64: inside the block each of *module*'s parameters reads its
+    ``data`` as a memoized read-only cast view, and the stored float64
+    arrays are never modified — bit-exact restoration is structural, not a
+    save/restore dance.  The overlay is contextvar-backed (thread/task
+    local) and **module-scoped**: other modules used inside the block keep
+    reading their stored arrays.  Nested overlays compose (inner modules
+    add to — or re-dtype — the outer mapping).  Training must not run
+    inside the block.
     """
     dtype = np.dtype(dtype)
-    parameters = module.parameters()
-    saved = [parameter.data for parameter in parameters]
-    if all(data.dtype == dtype for data in saved):
-        yield
-        return
+    previous = _PARAM_DTYPE.get()
+    default, per_param = previous if previous is not None else (None, {})
+    merged = dict(per_param)
+    merged.update((id(parameter), dtype) for parameter in module.parameters())
+    token = _PARAM_DTYPE.set((default, merged))
     try:
-        for parameter in parameters:
-            parameter.data = _cast_parameter(parameter, dtype)
         yield
     finally:
-        for parameter, data in zip(parameters, saved):
-            parameter.data = data
+        _PARAM_DTYPE.reset(token)
 
 
 class Parameter(Tensor):
-    """A trainable tensor (always ``requires_grad=True``)."""
+    """A trainable tensor (always ``requires_grad=True``).
+
+    ``data`` is overlay-aware: with no active dtype overlay it is the stored
+    array (trainable in place, reassignable); under a
+    :func:`parameters_as` / ``InferenceContext(dtype=...)`` overlay it reads
+    as the context's immutable cast view.
+    """
 
     def __init__(self, data) -> None:
         super().__init__(data, requires_grad=True)
+
+    @property
+    def data(self) -> np.ndarray:
+        base = _TENSOR_DATA.__get__(self)
+        overlay = _PARAM_DTYPE.get()
+        if overlay is None:
+            return base
+        default, per_param = overlay
+        dtype = per_param.get(id(self), default) if per_param else default
+        if dtype is None or base.dtype == dtype:
+            return base
+        return _cast_parameter(self, base, dtype)
+
+    @data.setter
+    def data(self, value) -> None:
+        _TENSOR_DATA.__set__(self, value)
 
 
 class Module:

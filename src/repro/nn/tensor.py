@@ -17,20 +17,38 @@ library that the reproduction needs:
   created tensors to ``float32`` for serving (training stays ``float64`` for
   numerical parity with the reference results).
 
-The engine is eager and single-threaded, but the hot paths are tuned: the
-backward pass orders the graph with an iterative topological sort (no
-recursion limit on deep graphs), gradients accumulate into preallocated
-buffers in place, and the gather/scatter primitives write straight into
-their destination buffers instead of materialising intermediate copies.
+The engine is eager, and the hot paths are tuned: the backward pass orders
+the graph with an iterative topological sort (no recursion limit on deep
+graphs), gradients accumulate into preallocated buffers in place, and the
+gather/scatter primitives write straight into their destination buffers
+instead of materialising intermediate copies.
+
+All inference/dtype state is **context-local** (contextvar-backed, see
+:mod:`repro.nn.context`): ``no_grad`` and ``default_dtype`` scope to the
+current thread/task, so any number of serving workers can run concurrent
+forwards — in different dtypes — while a training loop keeps recording
+float64 gradients on another thread (on its own model: weights of a model
+being actively optimized are not a stable snapshot to serve from).  The
+process-wide caches (the scatter matrices below) are lock-protected.
 """
 
 from __future__ import annotations
 
 import hashlib
+import threading
+import warnings
 from collections import OrderedDict
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
+
+from .context import (
+    _DTYPE_OVERRIDE,
+    _INFERENCE,
+    current_default_dtype,
+    serving_active,
+    set_base_dtype,
+)
 
 try:                                    # scipy is optional: scatter_add falls
     from scipy import sparse as _sparse  # back to np.add.at without it
@@ -41,51 +59,71 @@ ArrayLike = Union["Tensor", np.ndarray, float, int, Sequence]
 
 
 # --------------------------------------------------------------------- #
-# global engine state: gradient recording and default dtype
+# engine state: gradient recording and default dtype (context-local; the
+# contextvars themselves live in repro.nn.context)
 # --------------------------------------------------------------------- #
-_DEFAULT_DTYPE = np.float64
-
-
 def get_default_dtype() -> np.dtype:
-    """The dtype newly created tensors are coerced to (float64 by default)."""
-    return np.dtype(_DEFAULT_DTYPE)
+    """The dtype newly created tensors are coerced to in this context."""
+    return current_default_dtype()
 
 
 def set_default_dtype(dtype) -> np.dtype:
-    """Set the default tensor dtype; returns the previous one."""
-    global _DEFAULT_DTYPE
-    dtype = np.dtype(dtype)
-    if dtype.kind != "f":
-        raise TypeError(f"default dtype must be a float dtype, got {dtype}")
-    previous = np.dtype(_DEFAULT_DTYPE)
-    _DEFAULT_DTYPE = dtype
-    return previous
+    """Set the **process-wide** base default dtype; returns the previous one.
+
+    Legacy, user-facing shim.  It mutates global state, which is exactly
+    what the scoped engine exists to avoid: library code must use
+    :class:`default_dtype` / :class:`~repro.nn.context.InferenceContext`
+    instead, and calling this while a serving runtime owns the current
+    context emits a ``DeprecationWarning`` (the mutation still happens, but
+    active context overlays keep taking precedence over it).
+    """
+    if serving_active():
+        warnings.warn(
+            "set_default_dtype mutates the process-wide default dtype inside "
+            "an active serving context; use the scoped repro.nn.default_dtype "
+            "/ InferenceContext instead — the serving runtime's own dtype "
+            "overlay takes precedence over this call",
+            DeprecationWarning, stacklevel=2)
+    return set_base_dtype(dtype)
 
 
 class default_dtype:
-    """Context manager that temporarily switches the default tensor dtype.
+    """Context manager that switches the default tensor dtype *in context*.
 
     ``with default_dtype(np.float32): ...`` makes every tensor created inside
     the block (inputs, wrapped constants, masks) float32, which is the
-    serving configuration; outside the block the engine stays float64.
+    serving configuration.  The switch is contextvar-backed: it scopes to
+    the current thread/task only, so concurrent training code elsewhere
+    stays float64.
     """
 
     def __init__(self, dtype) -> None:
         self.dtype = np.dtype(dtype)
-        self._previous: Optional[np.dtype] = None
+        if self.dtype.kind != "f":
+            raise TypeError(f"default dtype must be a float dtype, got {self.dtype}")
+        # per-thread token stacks: contextvar tokens must be reset by the
+        # thread that created them, and one instance may be shared
+        self._stacks = threading.local()
 
     def __enter__(self) -> "default_dtype":
-        self._previous = set_default_dtype(self.dtype)
+        stack = getattr(self._stacks, "tokens", None)
+        if stack is None:
+            stack = self._stacks.tokens = []
+        stack.append(_DTYPE_OVERRIDE.set(self.dtype))
         return self
 
     def __exit__(self, *exc) -> None:
-        assert self._previous is not None
-        set_default_dtype(self._previous)
+        _DTYPE_OVERRIDE.reset(self._stacks.tokens.pop())
 
 
 def is_grad_enabled() -> bool:
-    """Whether operations currently record backward closures."""
-    return not Tensor.inference
+    """Whether operations record backward closures in the current context."""
+    return not _INFERENCE.get()
+
+
+def is_inference() -> bool:
+    """Whether the current context is on the no-grad inference fast path."""
+    return _INFERENCE.get()
 
 
 class no_grad:
@@ -93,17 +131,22 @@ class no_grad:
 
     Inside the block every operation skips closure/graph recording: outputs
     carry ``requires_grad=False``, keep no references to their inputs, and
-    ``backward()`` on them is a no-op.  Nesting is supported; the previous
-    state is restored on exit.
+    ``backward()`` on them is a no-op.  Nesting is supported, and the flag
+    is context-local — other threads keep recording gradients.
     """
 
+    def __init__(self) -> None:
+        self._stacks = threading.local()
+
     def __enter__(self) -> "no_grad":
-        self._previous = Tensor.inference
-        Tensor.inference = True
+        stack = getattr(self._stacks, "tokens", None)
+        if stack is None:
+            stack = self._stacks.tokens = []
+        stack.append(_INFERENCE.set(True))
         return self
 
     def __exit__(self, *exc) -> None:
-        Tensor.inference = self._previous
+        _INFERENCE.reset(self._stacks.tokens.pop())
 
 
 def _noop() -> None:
@@ -117,8 +160,10 @@ def _noop() -> None:
 #: is unbuffered and an order of magnitude slower than a sparse matmul for the
 #: (edges × features) messages the GNN aggregates; the matrix for a given
 #: index vector is built once and reused across layers/epochs/predictions.
+#: Shared across serving workers, so every access holds the lock.
 _SCATTER_MATRIX_CACHE: "OrderedDict[tuple, object]" = OrderedDict()
 _SCATTER_MATRIX_CAPACITY = 64
+_SCATTER_MATRIX_LOCK = threading.Lock()
 
 #: minimum number of scattered elements before the sparse-matmul path kicks
 #: in — below this np.add.at wins because the matmul setup dominates.
@@ -139,17 +184,25 @@ def scatter_matrix(indices: np.ndarray, num_segments: int, dtype) -> Optional[ob
     digest = hashlib.blake2b(np.ascontiguousarray(indices, dtype=np.int64).tobytes(),
                              digest_size=16).digest()
     key = (digest, int(num_segments), dtype.str)
-    matrix = _SCATTER_MATRIX_CACHE.get(key)
-    if matrix is not None:
-        _SCATTER_MATRIX_CACHE.move_to_end(key)
-        return matrix
+    with _SCATTER_MATRIX_LOCK:
+        matrix = _SCATTER_MATRIX_CACHE.get(key)
+        if matrix is not None:
+            _SCATTER_MATRIX_CACHE.move_to_end(key)
+            return matrix
+    # build outside the lock: concurrent misses duplicate the (idempotent)
+    # construction instead of serialising every worker behind one builder
     num_rows = int(indices.shape[0])
     matrix = _sparse.csr_matrix(
         (np.ones(num_rows, dtype=dtype), (indices, np.arange(num_rows))),
         shape=(int(num_segments), num_rows))
-    _SCATTER_MATRIX_CACHE[key] = matrix
-    while len(_SCATTER_MATRIX_CACHE) > _SCATTER_MATRIX_CAPACITY:
-        _SCATTER_MATRIX_CACHE.popitem(last=False)
+    with _SCATTER_MATRIX_LOCK:
+        existing = _SCATTER_MATRIX_CACHE.get(key)
+        if existing is not None:
+            _SCATTER_MATRIX_CACHE.move_to_end(key)
+            return existing
+        _SCATTER_MATRIX_CACHE[key] = matrix
+        while len(_SCATTER_MATRIX_CACHE) > _SCATTER_MATRIX_CAPACITY:
+            _SCATTER_MATRIX_CACHE.popitem(last=False)
     return matrix
 
 
@@ -185,14 +238,27 @@ def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
     return grad.reshape(shape)
 
 
-class Tensor:
+class _TensorMeta(type):
+    """Routes the legacy ``Tensor.inference`` class flag to the contextvar.
+
+    Pre-refactor code (and tests) read/wrote ``Tensor.inference`` as a
+    process-global switch; the property keeps that spelling working while
+    the actual state is context-local.
+    """
+
+    @property
+    def inference(cls) -> bool:
+        return _INFERENCE.get()
+
+    @inference.setter
+    def inference(cls, value: bool) -> None:
+        _INFERENCE.set(bool(value))
+
+
+class Tensor(metaclass=_TensorMeta):
     """A differentiable NumPy array."""
 
     __slots__ = ("data", "grad", "requires_grad", "_backward_fn", "_prev", "_op")
-
-    #: class-wide inference flag — ``True`` while a :class:`no_grad` block is
-    #: active; every op then skips closure/graph recording.
-    inference: bool = False
 
     def __init__(
         self,
@@ -204,7 +270,7 @@ class Tensor:
     ) -> None:
         if isinstance(data, Tensor):
             data = data.data
-        self.data = np.asarray(data, dtype=dtype or _DEFAULT_DTYPE)
+        self.data = np.asarray(data, dtype=dtype or current_default_dtype())
         self.requires_grad = bool(requires_grad)
         self.grad: Optional[np.ndarray] = None
         self._backward_fn: Callable[[], None] = _noop
@@ -300,7 +366,7 @@ class Tensor:
         return value if isinstance(value, Tensor) else Tensor(value)
 
     def _make(self, data: np.ndarray, children: Tuple["Tensor", ...], op: str) -> "Tensor":
-        if Tensor.inference:
+        if _INFERENCE.get():
             return Tensor(data, dtype=data.dtype)
         requires = any(c.requires_grad for c in children)
         return Tensor(data, requires_grad=requires, _children=children if requires else (),

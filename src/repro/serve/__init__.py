@@ -1,0 +1,32 @@
+"""``repro.serve`` — the concurrent micro-batching serving runtime.
+
+Built on the re-entrant engine contexts of :mod:`repro.nn.context`:
+
+* :class:`~repro.serve.server.Server` — owns one trained model set, shards
+  requests per platform across a worker pool, coalesces single predictions
+  into micro-batches, and exposes sync ``submit`` / ``predict`` /
+  ``predict_batch`` plus ``drain`` / ``close`` lifecycle hooks,
+* :class:`~repro.serve.server.ServerConfig` — worker count, batch window
+  and max batch size (``REPRO_SERVE_WORKERS`` & co read by ``from_env``),
+* :class:`~repro.serve.batching.MicroBatcher` — the shard-aware queue and
+  batch-formation policy, reusable without a model.
+
+``Session.predict_batch`` is a thin client of an embedded inline server,
+so the synchronous facade and the concurrent runtime share one execution
+path.  See ``SERVING.md`` for the architecture and the bit-reproducibility
+contract.
+"""
+
+from .batching import BatcherStats, MicroBatcher, ShardKey, WorkItem
+from .server import Server, ServerConfig, ServerStats, resolve_result_dtype
+
+__all__ = [
+    "BatcherStats",
+    "MicroBatcher",
+    "Server",
+    "ServerConfig",
+    "ServerStats",
+    "ShardKey",
+    "WorkItem",
+    "resolve_result_dtype",
+]

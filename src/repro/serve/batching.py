@@ -1,0 +1,284 @@
+"""Request queueing and micro-batch formation for the serving runtime.
+
+The serving :class:`~repro.serve.server.Server` separates *what to run*
+(this module) from *how to run it* (the worker pool in ``server.py``):
+
+* every request is tagged with a :class:`ShardKey` — the platform it
+  targets plus the parse mode and forward dtype — so only requests that can
+  legally share one GNN forward are ever coalesced,
+* single predictions (``Server.submit``) enter a per-shard queue and are
+  **coalesced into micro-batches**: a batch closes when it reaches
+  ``max_batch_size`` or when its oldest request has waited
+  ``batch_window_s``, whichever comes first,
+* explicit batch calls (``Server.predict_batch``) travel as one
+  :class:`WorkItem` and are never merged with other traffic: the caller's
+  batching is preserved exactly, which keeps float64 results bit-identical
+  to a single-threaded run of the same request list (BLAS kernels are not
+  bit-stable across *different* batch shapes, so reproducibility requires
+  composition-stable batches).
+
+:class:`MicroBatcher` owns the shards, one condition variable, and the
+batch-formation policy; it is fully lock-protected and deliberately knows
+nothing about models or graphs, so its scheduling behaviour is unit-testable
+without training anything.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict, deque
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Deque, List, NamedTuple, Optional, Tuple
+
+__all__ = ["BatcherStats", "MicroBatcher", "SHUTDOWN_MESSAGE", "ShardKey",
+           "WorkItem"]
+
+#: raised by both the queue and the inline Server path on post-close use —
+#: one string so the two rejection sites can never drift apart
+SHUTDOWN_MESSAGE = ("the serving queue is shut down; create a new Server "
+                    "(or don't close this one) to keep serving")
+
+
+class ShardKey(NamedTuple):
+    """What must match for two requests to share one batched forward."""
+
+    platform: str            # canonical platform name (one model each)
+    snippet: bool            # parse mode changes the graph, so never mix
+    dtype: Optional[str]     # numpy dtype str of the forward, None = float64
+
+
+class WorkItem(NamedTuple):
+    """One unit a worker executes: a micro-batch of singles or a whole job."""
+
+    key: ShardKey
+    specs: List[object]          # SourceSpecs, in result order
+    futures: List[Future]        # per-spec for singles; exactly one for a job
+    kind: str                    # "singles" | "job"
+
+
+@dataclass
+class _Single:
+    spec: object
+    future: Future
+    enqueued: float
+
+
+@dataclass
+class _Job:
+    specs: List[object]
+    future: Future
+    enqueued: float
+
+
+@dataclass
+class _Shard:
+    """Pending work for one shard key (guarded by the batcher lock)."""
+
+    key: ShardKey
+    singles: Deque[_Single] = field(default_factory=deque)
+    jobs: Deque[_Job] = field(default_factory=deque)
+
+    def pending(self) -> int:
+        return len(self.singles) + len(self.jobs)
+
+
+class BatcherStats(NamedTuple):
+    """Monotonic accounting of everything the batcher has scheduled."""
+
+    singles_submitted: int       # requests entered through submit()
+    jobs_submitted: int          # explicit predict_batch jobs
+    batches_executed: int        # work items handed to workers
+    requests_executed: int       # specs across all executed work items
+    max_coalesced: int           # largest single-request micro-batch formed
+    coalesced_total: int         # singles that travelled in micro-batches
+    peak_depth: int              # max simultaneous pending requests observed
+
+
+class MicroBatcher:
+    """Shard-aware request queue with window/size micro-batch formation.
+
+    All public methods are thread-safe.  Workers call :meth:`next_batch`,
+    which blocks until a batch is due (or ``None`` after :meth:`stop` once
+    the queue is fully drained — pending futures are never dropped), and
+    must pair every received item with one :meth:`task_done`.
+    """
+
+    def __init__(self, max_batch_size: int, batch_window_s: float) -> None:
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if batch_window_s < 0:
+            raise ValueError("batch_window_s must be >= 0")
+        self.max_batch_size = int(max_batch_size)
+        self.batch_window_s = float(batch_window_s)
+        self._lock = threading.Lock()
+        self._ready = threading.Condition(self._lock)
+        self._shards: "OrderedDict[ShardKey, _Shard]" = OrderedDict()
+        self._rotation = 0
+        self._stopping = False
+        self._in_flight = 0
+        # stats (guarded by the lock)
+        self._singles = 0
+        self._jobs = 0
+        self._batches = 0
+        self._requests_executed = 0
+        self._max_coalesced = 0
+        self._coalesced_total = 0
+        self._peak_depth = 0
+
+    # ------------------------------------------------------------------ #
+    # producer side
+    # ------------------------------------------------------------------ #
+    def _shard(self, key: ShardKey) -> _Shard:
+        shard = self._shards.get(key)
+        if shard is None:
+            shard = self._shards[key] = _Shard(key)
+        return shard
+
+    def _note_depth(self) -> None:
+        depth = sum(shard.pending() for shard in self._shards.values())
+        if depth > self._peak_depth:
+            self._peak_depth = depth
+
+    def _checked_open(self) -> None:
+        if self._stopping:
+            raise RuntimeError(SHUTDOWN_MESSAGE)
+
+    def enqueue_single(self, key: ShardKey, spec) -> Future:
+        """Queue one prediction for micro-batch coalescing."""
+        future: Future = Future()
+        with self._ready:
+            self._checked_open()
+            self._shard(key).singles.append(_Single(spec, future, time.monotonic()))
+            self._singles += 1
+            self._note_depth()
+            # notify_all: workers and wait_idle() callers share this
+            # condition, and a single notify could wake only an idle-waiter,
+            # losing the one wakeup a blocked worker needed
+            self._ready.notify_all()
+        return future
+
+    def enqueue_job(self, key: ShardKey, specs: List[object]) -> Future:
+        """Queue one explicit batch; executed whole, never merged."""
+        future: Future = Future()
+        with self._ready:
+            self._checked_open()
+            self._shard(key).jobs.append(_Job(list(specs), future, time.monotonic()))
+            self._jobs += 1
+            self._note_depth()
+            self._ready.notify_all()
+        return future
+
+    # ------------------------------------------------------------------ #
+    # consumer side (workers)
+    # ------------------------------------------------------------------ #
+    def _pop_singles(self, shard: _Shard) -> WorkItem:
+        taken = [shard.singles.popleft()
+                 for _ in range(min(len(shard.singles), self.max_batch_size))]
+        self._max_coalesced = max(self._max_coalesced, len(taken))
+        self._coalesced_total += len(taken)
+        return WorkItem(shard.key, [s.spec for s in taken],
+                        [s.future for s in taken], "singles")
+
+    def _rotated_shards(self) -> List[_Shard]:
+        """Shards starting at a rotating offset, so no shard's traffic can
+        monopolise scheduling just by having been created first."""
+        shards = list(self._shards.values())
+        if len(shards) > 1:
+            offset = self._rotation % len(shards)
+            self._rotation += 1
+            shards = shards[offset:] + shards[:offset]
+        return shards
+
+    def _take_locked(self, now: float) -> Tuple[Optional[WorkItem], Optional[float]]:
+        """One scheduling pass; returns (item, next_deadline)."""
+        deadline: Optional[float] = None
+        shards = self._rotated_shards()
+        # overdue singles first: the batch window is their latency contract,
+        # and sustained job traffic (every finished predict_batch replaced by
+        # another) must not be able to starve a queued single past it
+        overdue: Optional[_Shard] = None
+        overdue_due = now
+        for shard in shards:
+            if not shard.singles:
+                continue
+            due = shard.singles[0].enqueued + self.batch_window_s
+            if due <= overdue_due or self._stopping:
+                overdue, overdue_due = shard, due
+        if overdue is not None:
+            return self._pop_singles(overdue), None
+        # then jobs, in rotation order: already whole batches, each gating a
+        # blocked caller, and the rotation keeps a saturated shard from
+        # starving other platforms' jobs
+        for shard in shards:
+            if shard.jobs:
+                job = shard.jobs.popleft()
+                return WorkItem(shard.key, job.specs, [job.future], "job"), None
+        for shard in shards:
+            if not shard.singles:
+                continue
+            due = shard.singles[0].enqueued + self.batch_window_s
+            if len(shard.singles) >= self.max_batch_size:
+                return self._pop_singles(shard), None
+            deadline = due if deadline is None else min(deadline, due)
+        return None, deadline
+
+    def next_batch(self) -> Optional[WorkItem]:
+        """Block until a batch is due; ``None`` once stopped *and* drained."""
+        with self._ready:
+            while True:
+                item, deadline = self._take_locked(time.monotonic())
+                if item is not None:
+                    self._in_flight += 1
+                    self._batches += 1
+                    self._requests_executed += len(item.specs)
+                    return item
+                if self._stopping:
+                    return None
+                timeout = None if deadline is None \
+                    else max(deadline - time.monotonic(), 0.0)
+                self._ready.wait(timeout)
+
+    def task_done(self) -> None:
+        """Ack one item received from :meth:`next_batch` (enables drain)."""
+        with self._ready:
+            self._in_flight -= 1
+            self._ready.notify_all()
+
+    # ------------------------------------------------------------------ #
+    # lifecycle / introspection
+    # ------------------------------------------------------------------ #
+    def pending(self) -> int:
+        with self._lock:
+            return sum(shard.pending() for shard in self._shards.values())
+
+    def wait_idle(self, timeout: Optional[float] = None) -> bool:
+        """Block until every queued request has been executed and acked."""
+        end = None if timeout is None else time.monotonic() + timeout
+        with self._ready:
+            while (self._in_flight
+                   or any(shard.pending() for shard in self._shards.values())):
+                remaining = None if end is None else end - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    return False
+                self._ready.wait(remaining)
+            return True
+
+    def stop(self) -> None:
+        """Refuse new work; queued work still runs (futures are honored)."""
+        with self._ready:
+            self._stopping = True
+            self._ready.notify_all()
+
+    def stats(self) -> BatcherStats:
+        with self._lock:
+            return BatcherStats(
+                singles_submitted=self._singles,
+                jobs_submitted=self._jobs,
+                batches_executed=self._batches,
+                requests_executed=self._requests_executed,
+                max_coalesced=self._max_coalesced,
+                coalesced_total=self._coalesced_total,
+                peak_depth=self._peak_depth,
+            )

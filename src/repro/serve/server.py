@@ -1,0 +1,369 @@
+"""The concurrent serving runtime: one model set, many client threads.
+
+A :class:`Server` owns the trained per-platform models of one
+:class:`~repro.api.session.Session` and serves predictions from a pool of
+worker threads:
+
+* **sharding** — requests are grouped per (platform, parse mode, dtype)
+  shard; any worker may execute any shard's next micro-batch, so hot
+  platforms use the whole pool while each batch stays homogeneous,
+* **micro-batching** — single predictions submitted through
+  :meth:`Server.submit` / :meth:`Server.predict` coalesce into batches of
+  up to ``max_batch_size`` requests within a ``batch_window_s`` window
+  (the :mod:`repro.serve.batching` policy), amortising one GNN forward
+  over many callers,
+* **whole-job batches** — :meth:`Server.predict_batch` executes the
+  caller's request list as one unit, preserving its batch composition so
+  float64 results are bit-identical to a single-threaded run,
+* **re-entrant engine state** — every batch executes inside a thread-local
+  :class:`repro.nn.InferenceContext` (via the model's ``predict``), and all
+  shared caches (graph construction, edge layouts, scatter matrices) are
+  lock-protected, so no external serialization is needed anywhere.
+
+With ``num_workers=0`` the server runs **inline**: no threads are started
+and every call executes synchronously on the caller's thread through the
+exact same execution path.  That is the default configuration the
+:class:`~repro.api.session.Session` facade embeds (override with the
+``REPRO_SERVE_WORKERS`` environment variable or an explicit
+:class:`ServerConfig`).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import weakref
+from concurrent.futures import Future
+from dataclasses import dataclass
+from typing import Dict, List, NamedTuple, Optional, Sequence
+
+import numpy as np
+
+from ..nn.context import serving_scope
+from .batching import (
+    BatcherStats,
+    MicroBatcher,
+    SHUTDOWN_MESSAGE,
+    ShardKey,
+    WorkItem,
+)
+
+__all__ = ["Server", "ServerConfig", "ServerStats", "resolve_result_dtype"]
+
+#: environment knobs the default configuration reads (see SERVING.md)
+WORKERS_ENV = "REPRO_SERVE_WORKERS"
+MAX_BATCH_ENV = "REPRO_SERVE_MAX_BATCH"
+WINDOW_MS_ENV = "REPRO_SERVE_WINDOW_MS"
+
+
+def _env_int(name: str, default: int) -> int:
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        raise ValueError(f"{name} must be an integer, got {raw!r}")
+
+
+def _env_float(name: str, default: float) -> float:
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return default
+    try:
+        return float(raw)
+    except ValueError:
+        raise ValueError(f"{name} must be a number, got {raw!r}")
+
+
+def resolve_result_dtype(dtype) -> np.dtype:
+    """The dtype a prediction array is reported in for a serving *dtype*
+    (``None`` means full float64 parity)."""
+    return np.dtype(np.float64) if dtype is None else np.dtype(dtype)
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Knobs of the serving runtime.
+
+    Parameters
+    ----------
+    num_workers:
+        Size of the worker pool.  ``0`` (the default) runs inline on the
+        caller's thread — the embedded-in-``Session`` configuration; any
+        positive count starts that many daemon drain-loop threads.
+    max_batch_size:
+        Upper bound on how many coalesced single predictions share one GNN
+        forward.
+    batch_window_s:
+        How long the oldest queued single prediction may wait for
+        companions before its micro-batch is closed anyway.
+    """
+
+    num_workers: int = 0
+    max_batch_size: int = 32
+    batch_window_s: float = 0.002
+
+    def __post_init__(self) -> None:
+        if self.num_workers < 0:
+            raise ValueError("num_workers must be >= 0")
+        if self.max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if self.batch_window_s < 0:
+            raise ValueError("batch_window_s must be >= 0")
+
+    @classmethod
+    def from_env(cls) -> "ServerConfig":
+        """Defaults, overridable through the ``REPRO_SERVE_*`` variables."""
+        return cls(
+            num_workers=_env_int(WORKERS_ENV, 0),
+            max_batch_size=_env_int(MAX_BATCH_ENV, 32),
+            batch_window_s=_env_float(WINDOW_MS_ENV, 2.0) / 1000.0,
+        )
+
+
+def _drain_loop(batcher: MicroBatcher, server_ref) -> None:
+    """Worker body: pull due micro-batches/jobs until shutdown.
+
+    Module-level on purpose: worker threads hold only the batcher and a
+    *weak* reference to the server, so an abandoned ``Server`` (and the
+    session's trained models behind it) stays collectable — its
+    ``weakref.finalize`` hook stops the batcher, which ends this loop.
+    """
+    while True:
+        item = batcher.next_batch()
+        if item is None:
+            return
+        server = server_ref()
+        try:
+            if server is None:
+                for future in item.futures:
+                    future.set_exception(RuntimeError(SHUTDOWN_MESSAGE))
+            else:
+                server._run_item(item)
+        finally:
+            del server        # never carry a strong ref across the next wait
+            batcher.task_done()
+
+
+class ServerStats(NamedTuple):
+    """A coherent snapshot of the runtime's accounting."""
+
+    num_workers: int
+    singles_submitted: int
+    jobs_submitted: int
+    batches_executed: int
+    requests_executed: int
+    max_coalesced: int
+    coalesced_total: int
+    peak_depth: int
+
+    @classmethod
+    def of(cls, num_workers: int, stats: BatcherStats) -> "ServerStats":
+        return cls(num_workers, *stats)
+
+
+class Server:
+    """Concurrent, micro-batching serving runtime over one trained session.
+
+    The server is a client of the session's *components* — its trained
+    per-platform models and its lock-protected graph-construction cache —
+    while the session's ``predict_batch`` facade is, in turn, a thin client
+    of an embedded inline server: one execution path serves both the
+    legacy synchronous API and the concurrent runtime.
+
+    Use as a context manager (or call :meth:`close`) when workers are
+    enabled; with ``num_workers=0`` there is nothing to shut down.
+    """
+
+    def __init__(self, session, config: Optional[ServerConfig] = None) -> None:
+        self.config = config or ServerConfig.from_env()
+        self._session = session
+        self._trainers: Dict[str, object] = {}
+        self._trainers_lock = threading.Lock()
+        self._batcher = MicroBatcher(self.config.max_batch_size,
+                                     self.config.batch_window_s)
+        self._closed = False
+        # if the server is dropped without close(), stop the queue so the
+        # parked daemon workers exit instead of pinning batcher/threads
+        # forever (they deliberately hold no strong reference to `self`)
+        self._finalizer = weakref.finalize(self, self._batcher.stop)
+        self._workers: List[threading.Thread] = []
+        for index in range(self.config.num_workers):
+            worker = threading.Thread(
+                target=_drain_loop, args=(self._batcher, weakref.ref(self)),
+                daemon=True, name=f"repro-serve-worker-{index}")
+            worker.start()
+            self._workers.append(worker)
+
+    # ------------------------------------------------------------------ #
+    # request entry points
+    # ------------------------------------------------------------------ #
+    def _shard_key(self, platform, snippet: bool, dtype) -> ShardKey:
+        # resolving the platform (and training, lazily) happens on the
+        # caller's thread so submission errors surface where they were made
+        trainer_key = self._ensure_trainer(platform)
+        return ShardKey(platform=trainer_key, snippet=bool(snippet),
+                        dtype=None if dtype is None else np.dtype(dtype).str)
+
+    def submit(self, source, platform, *, sizes=None, num_teams: int = 64,
+               num_threads: int = 64, snippet: bool = False,
+               dtype=np.float32) -> "Future[float]":
+        """Queue one prediction; returns a future resolving to µs runtime.
+
+        Queued singles coalesce with other callers' requests into
+        micro-batches (see :class:`ServerConfig`); numerically the result
+        matches a solo prediction to BLAS rounding (~1e-14 relative in
+        float64 — batch composition changes the GEMM shapes, which is why
+        bit-exactness is only guaranteed for :meth:`predict_batch` jobs).
+        """
+        from ..api.stages import SourceSpec
+
+        spec = SourceSpec.of(source, sizes=sizes, num_teams=num_teams,
+                             num_threads=num_threads)
+        self._checked_open()
+        key = self._shard_key(platform, snippet, dtype)
+        if not self._workers:
+            future: Future = Future()
+            try:
+                values = self._execute(key, [spec])
+            except Exception as error:  # KeyboardInterrupt etc. must propagate
+                future.set_exception(error)  # on the caller's own thread
+            else:
+                future.set_result(float(values[0]))
+            return future
+        return self._batcher.enqueue_single(key, spec)
+
+    def predict(self, source, platform, **kwargs) -> float:
+        """Synchronous single prediction through the micro-batching queue."""
+        return float(self.submit(source, platform, **kwargs).result())
+
+    def predict_batch(self, sources: Sequence, platform, *, sizes=None,
+                      num_teams: int = 64, num_threads: int = 64,
+                      snippet: bool = False, dtype=np.float32) -> np.ndarray:
+        """Predict runtimes (µs) for a batch of sources on one platform.
+
+        The request list is executed as **one job** with its composition
+        preserved, so for a fixed list the results are bit-identical no
+        matter how many other threads are hammering the server (float64
+        results additionally match the single-threaded reference bit for
+        bit).  Coalescing applies only to :meth:`submit` singles.
+        """
+        from ..api.stages import SourceSpec
+
+        specs = [SourceSpec.of(source, sizes=sizes, num_teams=num_teams,
+                               num_threads=num_threads) for source in sources]
+        return self.predict_specs(specs, platform, snippet=snippet, dtype=dtype)
+
+    def predict_specs(self, specs: Sequence, platform, *, snippet: bool = False,
+                      dtype=np.float32) -> np.ndarray:
+        """:meth:`predict_batch` over prebuilt ``SourceSpec`` objects."""
+        self._checked_open()
+        if not specs:
+            # honor the serving dtype even for empty batches
+            return np.zeros(0, dtype=resolve_result_dtype(dtype))
+        key = self._shard_key(platform, snippet, dtype)
+        if not self._workers:
+            return self._execute(key, list(specs))
+        return self._batcher.enqueue_job(key, list(specs)).result()
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+    def _ensure_trainer(self, platform) -> str:
+        """Resolve (training lazily, once) the trainer for *platform*;
+        returns the canonical platform name."""
+        from ..api.registries import resolve_platform
+
+        name = resolve_platform(platform).name
+        if name in self._trainers:      # lock-free steady state (GIL-atomic)
+            return name
+        # trainer_for runs outside our lock: the session's own train lock
+        # already serializes lazy training, and holding _trainers_lock across
+        # it would stall every other platform's submissions meanwhile
+        trainer = self._session.trainer_for(name)
+        with self._trainers_lock:
+            self._trainers.setdefault(name, trainer)
+        return name
+
+    def _execute(self, key: ShardKey, specs: List) -> np.ndarray:
+        """Run one batch end to end: cached encode + batched GNN forward."""
+        from ..api.pipeline import Pipeline
+        from ..api.stages import PredictStage
+
+        trainer = self._trainers[key.platform]
+        dtype = None if key.dtype is None else np.dtype(key.dtype)
+        with serving_scope():
+            encoded = self._session._encode_specs(specs, snippet=key.snippet)
+            context = Pipeline([PredictStage(dtype=dtype)]).run(
+                encoded=encoded, trainer=trainer)
+        return context["predictions"]
+
+    def _run_item(self, item: WorkItem) -> None:
+        try:
+            values = self._execute(item.key, item.specs)
+        except BaseException as error:  # noqa: BLE001 - delivered to futures
+            if item.kind == "singles" and len(item.specs) > 1:
+                # a poisoned request must not fail its batch neighbours:
+                # retry the coalesced singles individually
+                for spec, future in zip(item.specs, item.futures):
+                    try:
+                        value = float(self._execute(item.key, [spec])[0])
+                    except BaseException as single_error:  # noqa: BLE001
+                        future.set_exception(single_error)
+                    else:
+                        future.set_result(value)
+                return
+            for future in item.futures:
+                future.set_exception(error)
+            return
+        if item.kind == "job":
+            item.futures[0].set_result(np.asarray(values))
+        else:
+            for future, value in zip(item.futures, values):
+                future.set_result(float(value))
+
+    # ------------------------------------------------------------------ #
+    # lifecycle / introspection
+    # ------------------------------------------------------------------ #
+    def _checked_open(self) -> None:
+        # the worker path gets this from MicroBatcher.stop(); the inline
+        # path must enforce the same "closed servers reject work" contract
+        if self._closed:
+            raise RuntimeError(SHUTDOWN_MESSAGE)
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Block until every queued request has finished executing."""
+        if not self._workers:
+            return True
+        return self._batcher.wait_idle(timeout)
+
+    def close(self) -> None:
+        """Stop accepting work, finish the queue, and join the workers."""
+        if self._closed:
+            return
+        self._closed = True
+        self._finalizer()        # batcher.stop(); shared with the GC path
+        for worker in self._workers:
+            worker.join()
+
+    def __enter__(self) -> "Server":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    @property
+    def session(self):
+        """The session whose models and caches this server serves from."""
+        return self._session
+
+    def stats(self) -> ServerStats:
+        """Queue/coalescing accounting (all-zero until traffic arrives)."""
+        return ServerStats.of(self.config.num_workers, self._batcher.stats())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (f"Server(workers={self.config.num_workers}, "
+                f"max_batch={self.config.max_batch_size}, "
+                f"window={self.config.batch_window_s * 1000:.1f}ms, "
+                f"platforms={sorted(self._trainers)})")

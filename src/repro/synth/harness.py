@@ -20,7 +20,12 @@ cross-layer invariant checked over many seeded generated cases:
 * ``pooling-paths`` — the sorted-batch ``reduceat`` pooling shortcut, the
   autodiff fallback and a NumPy oracle agree,
 * ``config-roundtrip`` — random valid configs survive
-  ``to_dict``/``from_dict``/JSON round trips unchanged.
+  ``to_dict``/``from_dict``/JSON round trips unchanged,
+* ``serving-context-isolation`` — seeded concurrent workloads: threads
+  holding different :class:`repro.nn.InferenceContext` configurations
+  (float32 serving, float64 parity, grad-recording training) run
+  simultaneously on one shared model and none of the dtype / no-grad /
+  parameter-view state leaks across threads.
 
 Every failure reports the integer seed of the offending case;
 ``python -m repro.synth <scenario> <seed>`` replays exactly that case.
@@ -346,6 +351,96 @@ def check_pooling_paths(seed: int) -> None:
         np.testing.assert_allclose(out.data, oracle(op), atol=1e-12)
 
 
+def check_context_isolation(seed: int) -> None:
+    """Concurrent engine contexts must not leak state across threads.
+
+    Seeded plan: 2-4 threads share one :class:`repro.nn.Linear`; thread 0
+    may record gradients (training mode), the others hold
+    ``InferenceContext``\\ s with seed-chosen dtypes.  A barrier forces every
+    context to be active simultaneously; each thread then asserts its own
+    view of ``get_default_dtype`` / ``is_grad_enabled`` and its forward
+    output must be bit-identical to the same forward run sequentially.
+    """
+    import threading
+
+    from ..nn import InferenceContext, Linear, Tensor, get_default_dtype, \
+        is_grad_enabled
+
+    rng = np.random.default_rng(seed)
+    num_threads = 2 + int(rng.integers(0, 3))
+    layer = Linear(6, 4, rng=np.random.default_rng(seed + 1))
+    features = rng.normal(size=(5, 6))
+    dtypes = (None, np.float32, np.float64)
+    plans = []
+    for index in range(num_threads):
+        # at most one grad-recording thread: parameter .grad buffers are
+        # shared training state, only the contexts are per-thread
+        grad = index == 0 and bool(rng.integers(0, 2))
+        dtype = None if grad else dtypes[int(rng.integers(0, len(dtypes)))]
+        plans.append((dtype, grad))
+
+    def forward(dtype, grad):
+        if grad:
+            x = Tensor(features.copy(), requires_grad=True)
+            out = layer(x)
+            assert out.requires_grad and out._prev, "autodiff graph not recorded"
+            return out
+        with InferenceContext(dtype=dtype):
+            out = layer(Tensor(features))
+            assert not out.requires_grad
+            return out
+
+    expected = [forward(dtype, grad).data.copy() for dtype, grad in plans]
+
+    barrier = threading.Barrier(num_threads)
+    outputs: List[Optional[np.ndarray]] = [None] * num_threads
+    failures: List[str] = []
+
+    def run(index: int) -> None:
+        dtype, grad = plans[index]
+        try:
+            if grad:
+                barrier.wait()
+                assert is_grad_enabled(), "no_grad leaked into training thread"
+                assert get_default_dtype() == np.float64, \
+                    "dtype overlay leaked into training thread"
+                out = forward(dtype, grad)
+                barrier.wait()      # overlap: every context active right now
+                assert is_grad_enabled() and get_default_dtype() == np.float64
+                out.sum().backward()
+                outputs[index] = out.data.copy()
+            else:
+                with InferenceContext(dtype=dtype):
+                    barrier.wait()
+                    want = np.dtype(np.float64 if dtype is None else dtype)
+                    assert get_default_dtype() == want, "dtype leaked across threads"
+                    assert not is_grad_enabled(), "no_grad flag leaked"
+                    out = layer(Tensor(features))
+                    assert not out.requires_grad
+                    assert out.data.dtype == want
+                    barrier.wait()
+                    assert get_default_dtype() == want
+                    outputs[index] = out.data.copy()
+        except Exception as error:  # noqa: BLE001 - reported with the seed
+            failures.append(f"thread {index}: {type(error).__name__}: {error}")
+            barrier.abort()         # release peers instead of deadlocking
+
+    threads = [threading.Thread(target=run, args=(index,))
+               for index in range(num_threads)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not failures, failures[0]
+    for index, (dtype, grad) in enumerate(plans):
+        np.testing.assert_array_equal(
+            outputs[index], expected[index],
+            err_msg=f"thread {index} (dtype={dtype}, grad={grad}) diverged "
+                    "from its sequential reference")
+    # the spawning context itself must come out untouched
+    assert is_grad_enabled() and get_default_dtype() == np.float64
+
+
 def check_config_roundtrip(seed: int) -> None:
     from ..api.config import DataConfig, GraphConfig, ModelConfig, READOUTS, ReproConfig
     from ..ml.trainer import TrainingConfig
@@ -416,6 +511,7 @@ _register("gnn-gradient-parity", check_gnn_gradient_parity, 8, "gnn")
 _register("float32-serving-bounds", check_float32_serving_bounds, 12, "nn")
 _register("pooling-paths", check_pooling_paths, 16, "gnn")
 _register("config-roundtrip", check_config_roundtrip, 16, "api")
+_register("serving-context-isolation", check_context_isolation, 6, "serve")
 
 #: sum of the per-scenario defaults — the tier-1 corpus size.
 DEFAULT_TOTAL_CASES = sum(spec.default_cases for spec in SCENARIOS.values())

@@ -11,6 +11,7 @@ import numpy as np
 import pytest
 
 from repro.nn import (
+    InferenceContext,
     Linear,
     Tensor,
     default_dtype,
@@ -18,6 +19,7 @@ from repro.nn import (
     is_grad_enabled,
     no_grad,
     parameters_as,
+    serving_scope,
     set_default_dtype,
 )
 from repro.nn import functional as F
@@ -128,6 +130,18 @@ class TestDefaultDtype:
             assert layer.bias.data.dtype == np.float32
         assert layer.weight.data is original     # restored, not re-cast
 
+    def test_parameters_as_is_module_scoped(self):
+        cast = Linear(4, 3, rng=np.random.default_rng(0))
+        bystander = Linear(4, 3, rng=np.random.default_rng(1))
+        with parameters_as(cast, np.float32):
+            assert cast.weight.data.dtype == np.float32
+            # an unrelated module keeps its stored float64 weights
+            assert bystander.weight.data.dtype == np.float64
+            with parameters_as(bystander, np.float32):   # overlays compose
+                assert bystander.weight.data.dtype == np.float32
+                assert cast.weight.data.dtype == np.float32
+            assert bystander.weight.data.dtype == np.float64
+
     def test_float32_predictions_match_float64(self):
         rng = np.random.default_rng(0)
         layer = Linear(8, 1, rng=rng)
@@ -137,6 +151,81 @@ class TestDefaultDtype:
             fast = layer(Tensor(features)).data
         assert fast.dtype == np.float32
         np.testing.assert_allclose(fast, exact, rtol=1e-5, atol=1e-5)
+
+
+class TestInferenceContext:
+    """The contextvar-backed scoped engine state (thread-local, re-entrant)."""
+
+    def test_bundles_no_grad_and_dtype(self):
+        a = Tensor(np.ones((2, 3)), requires_grad=True)
+        with InferenceContext(dtype=np.float32):
+            assert not is_grad_enabled()
+            assert get_default_dtype() == np.float32
+            out = (a * 2.0).sum()
+            assert not out.requires_grad
+        assert is_grad_enabled() and get_default_dtype() == np.float64
+
+    def test_nests_and_restores_in_order(self):
+        with InferenceContext(dtype=np.float32):
+            with InferenceContext(dtype=np.float64):
+                assert get_default_dtype() == np.float64
+            assert get_default_dtype() == np.float32
+        assert get_default_dtype() == np.float64
+
+    def test_grad_mode_keeps_recording(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        with InferenceContext(dtype=np.float64, grad=True):
+            (a * 3.0).sum().backward()
+        np.testing.assert_allclose(a.grad, np.full(3, 3.0))
+
+    def test_threads_are_isolated(self):
+        import threading
+
+        barrier = threading.Barrier(2)
+        seen = {}
+
+        def serving_thread():
+            with InferenceContext(dtype=np.float32):
+                barrier.wait()
+                seen["serve"] = (get_default_dtype(), is_grad_enabled())
+                barrier.wait()
+
+        def training_thread():
+            barrier.wait()          # serving context active on the other side
+            seen["train"] = (get_default_dtype(), is_grad_enabled())
+            barrier.wait()
+
+        threads = [threading.Thread(target=serving_thread),
+                   threading.Thread(target=training_thread)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert seen["serve"] == (np.dtype(np.float32), False)
+        assert seen["train"] == (np.dtype(np.float64), True)
+
+    def test_rejects_non_float_dtype(self):
+        with pytest.raises(TypeError):
+            InferenceContext(dtype=np.int32)
+
+    def test_parameter_views_are_immutable_casts(self):
+        layer = Linear(4, 3, rng=np.random.default_rng(0))
+        base = layer.weight.data
+        with InferenceContext(dtype=np.float32):
+            view = layer.weight.data
+            assert view.dtype == np.float32
+            assert not view.flags.writeable
+            with pytest.raises(ValueError):
+                view[0, 0] = 1.0
+            assert layer.weight.data is view     # memoized per context dtype
+        assert layer.weight.data is base         # stored array never touched
+
+    def test_set_default_dtype_warns_inside_serving_scope(self):
+        with serving_scope():
+            with pytest.warns(DeprecationWarning, match="serving context"):
+                previous = set_default_dtype(np.float64)
+        assert previous == np.float64
+        assert get_default_dtype() == np.float64
 
 
 class TestIterativeBackward:

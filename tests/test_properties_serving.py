@@ -98,6 +98,14 @@ class TestConfigRoundtrip:
         assert report.ok and report.cases >= 2
 
 
+class TestContextIsolation:
+    """Seeded concurrent workloads: no engine state leaks across threads."""
+
+    def test_serving_context_isolation_corpus(self):
+        report = run_cases("serving-context-isolation")
+        assert report.ok and report.cases >= 2
+
+
 class TestInvalidStageDicts:
     """ReproConfig.from_dict must reject bad stage payloads (satellite #4)."""
 

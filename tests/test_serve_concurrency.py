@@ -1,0 +1,309 @@
+"""Concurrency tests for the ``repro.serve`` runtime and the Session facade.
+
+The acceptance property of the re-entrant engine refactor: N threads
+hammering ``predict_batch`` on one shared :class:`repro.serve.Server` —
+with **no external lock** — produce float64 predictions bit-identical to
+the single-threaded reference, even while other threads serve float32
+from the same model.  Plus the micro-batching behaviour (single submits
+coalesce, poisoned requests don't fail their batch neighbours), the
+lifecycle (drain/close), and the satellite fixes: empty-batch dtype,
+cache ``reset_stats``, and the ``set_default_dtype`` serving deprecation.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.api import DataConfig, ModelConfig, ReproConfig, Session, get_kernel
+from repro.ml.trainer import TrainingConfig
+from repro.pipeline import SweepConfig
+from repro.serve import Server, ServerConfig
+from repro.synth import build_corpus
+
+PLATFORM = "v100"
+
+
+def tiny_config() -> ReproConfig:
+    return ReproConfig(
+        data=DataConfig(
+            sweep=SweepConfig(size_scales=(1.0,), team_counts=(64,),
+                              thread_counts=(8, 64),
+                              kernels=[get_kernel("matmul")]),
+            platforms=(PLATFORM,)),
+        model=ModelConfig(hidden_dim=10),
+        training=TrainingConfig(epochs=2, batch_size=16,
+                                learning_rate=2e-3, seed=0),
+        seed=0,
+    )
+
+
+@pytest.fixture(scope="module")
+def session():
+    session = Session(tiny_config())
+    session.train()
+    return session
+
+
+@pytest.fixture(scope="module")
+def requests():
+    return build_corpus(12, seed=31).sources()
+
+
+@pytest.fixture(scope="module")
+def reference(session, requests):
+    """Single-threaded references, computed before any worker pool exists."""
+    return {
+        "float64": session.predict_batch(requests, PLATFORM, dtype=None),
+        "float32": session.predict_batch(requests, PLATFORM),
+    }
+
+
+class TestConcurrentPredictBatch:
+    def test_threads_match_single_thread_reference_bit_for_bit(
+            self, session, requests, reference):
+        """≥4 worker threads, ≥6 client threads, mixed dtypes, no lock."""
+        errors = []
+        config = ServerConfig(num_workers=4, max_batch_size=8,
+                              batch_window_s=0.001)
+        with Server(session, config) as server:
+            def hammer(index: int) -> None:
+                try:
+                    dtype = None if index % 2 == 0 else np.float32
+                    expected = reference["float64" if dtype is None else "float32"]
+                    for _ in range(3):
+                        got = server.predict_batch(requests, PLATFORM, dtype=dtype)
+                        if not np.array_equal(got, expected):
+                            errors.append(
+                                f"thread {index} (dtype={dtype}): max diff "
+                                f"{np.abs(got - expected).max():g}")
+                except Exception as error:  # noqa: BLE001 - reported below
+                    errors.append(f"thread {index}: {type(error).__name__}: {error}")
+
+            threads = [threading.Thread(target=hammer, args=(index,))
+                       for index in range(6)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        assert not errors, errors[0]
+
+    def test_facade_and_standalone_server_agree_bitwise(
+            self, session, requests, reference):
+        with Server(session, ServerConfig(num_workers=2)) as server:
+            np.testing.assert_array_equal(
+                server.predict_batch(requests, PLATFORM, dtype=None),
+                reference["float64"])
+
+    def test_single_worker_matches_too(self, session, requests, reference):
+        with Server(session, ServerConfig(num_workers=1)) as server:
+            np.testing.assert_array_equal(
+                server.predict_batch(requests, PLATFORM),
+                reference["float32"])
+
+
+class TestMicroBatching:
+    def test_submitted_singles_coalesce(self, session, requests, reference):
+        config = ServerConfig(num_workers=1, max_batch_size=16,
+                              batch_window_s=0.05)
+        with Server(session, config) as server:
+            futures = [server.submit(spec, PLATFORM, dtype=None)
+                       for spec in requests]
+            values = np.array([future.result() for future in futures])
+            stats = server.stats()
+        # numerically a coalesced single matches its solo run to BLAS
+        # rounding (batch composition changes GEMM shapes, hence not bitwise)
+        np.testing.assert_allclose(values, reference["float64"],
+                                   rtol=1e-9, atol=1e-9)
+        assert stats.singles_submitted == len(requests)
+        assert stats.max_coalesced >= 2, "no micro-batch was ever formed"
+        assert stats.batches_executed < stats.singles_submitted
+
+    def test_predict_routes_through_queue(self, session, requests, reference):
+        with Server(session, ServerConfig(num_workers=2)) as server:
+            value = server.predict(requests[0], PLATFORM, dtype=None)
+        np.testing.assert_allclose(value, reference["float64"][0],
+                                   rtol=1e-9, atol=1e-9)
+
+    def test_poisoned_request_does_not_fail_batch_neighbours(
+            self, session, requests):
+        config = ServerConfig(num_workers=1, max_batch_size=8,
+                              batch_window_s=0.05)
+        with Server(session, config) as server:
+            good = [server.submit(spec, PLATFORM) for spec in requests[:3]]
+            bad = server.submit("this is } not C {", PLATFORM)
+            for future in good:
+                assert np.isfinite(future.result(timeout=30))
+            with pytest.raises(Exception):
+                bad.result(timeout=30)
+
+    def test_mixed_dtype_singles_stay_in_their_shards(
+            self, session, requests, reference):
+        config = ServerConfig(num_workers=2, max_batch_size=8,
+                              batch_window_s=0.02)
+        with Server(session, config) as server:
+            futures = [(index, server.submit(
+                spec, PLATFORM, dtype=None if index % 2 else np.float32))
+                for index, spec in enumerate(requests)]
+            for index, future in futures:
+                expected = reference["float64" if index % 2 else "float32"][index]
+                np.testing.assert_allclose(future.result(timeout=30), expected,
+                                           rtol=1e-5, atol=1e-5)
+
+
+class TestBatcherPolicy:
+    """Queue-level scheduling properties (no model needed)."""
+
+    def test_overdue_singles_are_not_starved_by_job_traffic(self):
+        from repro.serve import MicroBatcher, ShardKey
+
+        batcher = MicroBatcher(max_batch_size=4, batch_window_s=0.0)
+        key = ShardKey("platform", False, None)
+        batcher.enqueue_single(key, "single")
+        for _ in range(3):
+            batcher.enqueue_job(key, ["job"])
+        # the single's window (0 ms) has expired: it must be scheduled ahead
+        # of the standing job backlog, not starved behind it
+        item = batcher.next_batch()
+        assert item.kind == "singles"
+        batcher.task_done()
+        assert batcher.next_batch().kind == "job"
+        batcher.task_done()
+
+    def test_fresh_singles_wait_their_window_behind_jobs(self):
+        from repro.serve import MicroBatcher, ShardKey
+
+        batcher = MicroBatcher(max_batch_size=4, batch_window_s=60.0)
+        key = ShardKey("platform", False, None)
+        batcher.enqueue_single(key, "single")
+        batcher.enqueue_job(key, ["job"])
+        item = batcher.next_batch()      # job runs while the single coalesces
+        assert item.kind == "job"
+        batcher.task_done()
+
+    def test_job_scheduling_rotates_across_shards(self):
+        from repro.serve import MicroBatcher, ShardKey
+
+        batcher = MicroBatcher(max_batch_size=4, batch_window_s=60.0)
+        first = ShardKey("first", False, None)
+        second = ShardKey("second", False, None)
+        batcher.enqueue_job(first, ["f1"])
+        batcher.enqueue_job(first, ["f2"])
+        batcher.enqueue_job(second, ["s1"])
+        served = []
+        for _ in range(3):
+            item = batcher.next_batch()
+            served.append(item.key.platform)
+            batcher.task_done()
+        # the second shard's job must not be starved behind the backlog of
+        # the first-created shard
+        assert served.index("second") < 2, served
+
+
+class TestLifecycle:
+    def test_drain_then_stats_account_everything(self, session, requests):
+        config = ServerConfig(num_workers=2, max_batch_size=4,
+                              batch_window_s=0.01)
+        with Server(session, config) as server:
+            futures = [server.submit(spec, PLATFORM) for spec in requests]
+            assert server.drain(timeout=60)
+            stats = server.stats()
+            assert stats.requests_executed >= len(requests)
+            for future in futures:
+                assert future.done()
+
+    def test_close_finishes_queue_and_rejects_new_work(self, session, requests):
+        server = Server(session, ServerConfig(num_workers=1,
+                                              batch_window_s=0.05))
+        futures = [server.submit(spec, PLATFORM) for spec in requests[:4]]
+        server.close()
+        for future in futures:    # queued futures are honored, never dropped
+            assert np.isfinite(future.result(timeout=30))
+        with pytest.raises(RuntimeError, match="shut down"):
+            server.predict_batch(requests, PLATFORM)
+        server.close()            # idempotent
+
+    def test_abandoned_server_is_garbage_collected(self, session, requests):
+        import gc
+        import weakref
+
+        server = Server(session, ServerConfig(num_workers=2))
+        server.predict_batch(requests[:2], PLATFORM)
+        workers = list(server._workers)
+        ref = weakref.ref(server)
+        del server                 # dropped without close(): workers hold no
+        gc.collect()               # strong ref, the finalizer stops the queue
+        assert ref() is None
+        for worker in workers:
+            worker.join(timeout=10)
+            assert not worker.is_alive()
+
+    def test_inline_server_close_rejects_new_work_too(self, session, requests):
+        server = Server(session, ServerConfig())       # num_workers=0, inline
+        assert server.predict_batch(requests[:2], PLATFORM).shape == (2,)
+        server.close()
+        with pytest.raises(RuntimeError, match="shut down"):
+            server.predict_batch(requests[:2], PLATFORM)
+        with pytest.raises(RuntimeError, match="shut down"):
+            server.submit(requests[0], PLATFORM)
+
+
+class TestSessionFacadeSatellites:
+    def test_empty_batch_honors_serving_dtype(self, session):
+        assert session.predict_batch([], PLATFORM).dtype == np.float32
+        assert session.predict_batch([], PLATFORM).shape == (0,)
+        assert session.predict_batch([], PLATFORM, dtype=None).dtype == np.float64
+        assert session.predict_batch([], PLATFORM,
+                                     dtype=np.float64).dtype == np.float64
+        with Server(session, ServerConfig()) as server:
+            assert server.predict_batch([], PLATFORM).dtype == np.float32
+
+    def test_cache_reset_stats_keeps_entries(self, session, requests):
+        session.clear_cache()
+        session.predict_batch(requests, PLATFORM)
+        primed = session.cache_info()
+        assert primed.misses > 0 and primed.size > 0
+        session.reset_cache_stats()
+        info = session.cache_info()
+        assert (info.hits, info.misses) == (0, 0)
+        assert info.size == primed.size            # entries survived
+        session.predict_batch(requests, PLATFORM)
+        after = session.cache_info()
+        assert after.hits == len(requests) and after.misses == 0
+
+    def test_clear_cache_can_also_reset_counters(self, session, requests):
+        session.predict_batch(requests, PLATFORM)
+        before = session.cache_info()
+        assert before.hits + before.misses > 0
+        session.clear_cache()                      # default keeps counters
+        kept = session.cache_info()
+        assert (kept.hits, kept.misses) == (before.hits, before.misses)
+        assert kept.size == 0
+        session.clear_cache(reset_stats=True)
+        info = session.cache_info()
+        assert (info.hits, info.misses, info.size) == (0, 0, 0)
+
+    def test_session_embeds_worker_pool_from_config(self, requests, reference):
+        session = Session(tiny_config(),
+                          serve_config=ServerConfig(num_workers=2))
+        try:
+            got = session.predict_batch(requests, PLATFORM, dtype=None)
+            np.testing.assert_array_equal(got, reference["float64"])
+            assert session.server().config.num_workers == 2
+        finally:
+            session.close()
+
+    def test_workers_env_is_honored(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVE_WORKERS", "3")
+        session = Session(tiny_config())
+        try:
+            assert session.server().config.num_workers == 3
+        finally:
+            session.close()
+
+    def test_set_default_dtype_deprecated_inside_serving_context(self):
+        from repro.nn import serving_scope, set_default_dtype
+
+        with serving_scope():
+            with pytest.warns(DeprecationWarning, match="serving context"):
+                set_default_dtype(np.float64)
