@@ -1,4 +1,28 @@
-"""Setuptools shim so `pip install -e .` works without the `wheel` package."""
-from setuptools import setup
+"""Setuptools shim so `pip install -e .` works without the `wheel` package.
 
-setup()
+The package version has a single source of truth — ``__version__`` in
+``src/repro/__init__.py`` (also recorded in every ``repro.store`` artifact
+manifest) — read here textually so installing never imports the package.
+"""
+import os
+import re
+
+from setuptools import find_packages, setup
+
+
+def _read_version() -> str:
+    init_path = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                             "src", "repro", "__init__.py")
+    with open(init_path, "r", encoding="utf-8") as handle:
+        match = re.search(r'^__version__ = "([^"]+)"', handle.read(), re.M)
+    if match is None:
+        raise RuntimeError(f"__version__ not found in {init_path}")
+    return match.group(1)
+
+
+setup(
+    name="repro",
+    version=_read_version(),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+)

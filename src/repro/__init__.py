@@ -18,6 +18,10 @@ et al.), including every substrate the paper depends on:
   ``repro.api``),
 * ``repro.serve`` -- the concurrent micro-batching serving runtime
   (worker pool, per-platform sharding, re-entrant inference contexts),
+* ``repro.store`` -- the model artifact store: versioned, checksummed
+  manifests + weight payloads, ``Session.save``/``Session.load``
+  zero-retrain warm starts, a ``name@version`` model registry and the
+  ``python -m repro.store`` CLI,
 * ``repro.synth`` -- seeded synthetic-scenario generators and the
   differential property-testing harness over the whole pipeline,
 * ``repro.evaluation`` -- drivers regenerating every table and figure.
@@ -46,7 +50,9 @@ Subpackages import lazily (PEP 562), so ``import repro`` is fast.
 
 import importlib
 
-__version__ = "1.1.0"
+#: single source of truth — read by ``setup.py`` and recorded in every
+#: ``repro.store`` artifact manifest for compatibility checks.
+__version__ = "1.2.0"
 
 _SUBPACKAGES = (
     "advisor",
@@ -62,6 +68,7 @@ _SUBPACKAGES = (
     "paragraph",
     "pipeline",
     "serve",
+    "store",
     "synth",
 )
 

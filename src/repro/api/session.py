@@ -151,6 +151,9 @@ class Session:
         self._serve_config = serve_config
         self._server: Optional[Server] = None
         self._server_lock = threading.Lock()
+        #: artifact provenance when this session was warm-started from a
+        #: ``repro.store`` artifact instead of trained in-process.
+        self._provenance: Optional[dict] = None
 
     # ------------------------------------------------------------------ #
     @property
@@ -187,7 +190,11 @@ class Session:
     def workflow(self) -> WorkflowResult:
         """The legacy one-call result shape (datasets + trained platforms)."""
         platform_results = self.train()
-        assert self._build is not None
+        if self._build is None:
+            raise RuntimeError(
+                "this session was warm-started from a stored artifact and "
+                "carries no dataset build; serve with predict/predict_batch, "
+                "or construct a fresh Session to run the training workflow")
         return WorkflowResult(build=self._build, platforms=platform_results)
 
     def trainer_for(self, platform) -> Trainer:
@@ -303,6 +310,61 @@ class Session:
         return float(self.predict_batch(
             [source], platform, sizes=sizes, num_teams=num_teams,
             num_threads=num_threads, snippet=snippet, dtype=dtype)[0])
+
+    # ------------------------------------------------------------------ #
+    # persistence (repro.store)
+    # ------------------------------------------------------------------ #
+    def save(self, path, *, name: str = "session", overwrite: bool = False) -> str:
+        """Persist the trained model set as a ``repro.store`` artifact.
+
+        Trains first if needed, then writes ``manifest.json`` (config,
+        vocabulary, encoder settings, scaler state, provenance) plus one
+        ``.npz`` state dict per platform under *path*.  A session loaded
+        back with :meth:`Session.load` serves ``dtype=None`` predictions
+        bit-identical to this one.  See ``STORE.md``.
+        """
+        from ..store.artifact import save_session
+        return save_session(self, path, name=name, overwrite=overwrite)
+
+    @classmethod
+    def load(cls, path, *, serve_config: Optional[ServerConfig] = None,
+             graph_cache_size: int = 256, verify: bool = True) -> "Session":
+        """Warm-start a session from an artifact — zero retraining.
+
+        The returned session's :meth:`train` is a no-op returning the
+        restored per-platform results, and :meth:`predict_batch` goes
+        straight to the serving path: float64 (``dtype=None``) predictions
+        are bit-identical to the session that produced the artifact.
+        ``verify=True`` (default) enforces payload checksums; corrupt or
+        version-mismatched artifacts raise ``repro.store`` errors naming
+        the offending field.  Subclasses reconstruct as themselves (their
+        ``__init__`` must keep this signature).
+        """
+        from ..store.artifact import load_session
+        return load_session(path, serve_config=serve_config,
+                            graph_cache_size=graph_cache_size, verify=verify,
+                            session_cls=cls)
+
+    def _install_restored_results(self, results: Dict[str, PlatformResult],
+                                  provenance: dict) -> None:
+        """Adopt artifact-restored platform results (``repro.store`` only)."""
+        with self._train_lock:
+            if self._platform_results is not None:
+                raise RuntimeError(
+                    "cannot install restored models into a session that "
+                    "already trained")
+            self._platform_results = dict(results)
+            self._provenance = dict(provenance)
+
+    @property
+    def warm_started(self) -> bool:
+        """True when the model set came from an artifact, not training."""
+        return self._provenance is not None
+
+    @property
+    def provenance(self) -> Optional[dict]:
+        """Artifact provenance of a warm-started session (else ``None``)."""
+        return None if self._provenance is None else dict(self._provenance)
 
     # ------------------------------------------------------------------ #
     def cache_info(self) -> CacheInfo:

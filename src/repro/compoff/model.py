@@ -97,3 +97,19 @@ class COMPOFFModel:
             self.network.train()
         scaled = np.clip(scaled, 0.0, 1.0)
         return self.target_scaler.inverse_transform(scaled)
+
+    # ------------------------------------------------------------------ #
+    def save(self, path, *, name: str = "compoff",
+             overwrite: bool = False) -> str:
+        """Persist the fitted coefficients + scaler state as a
+        ``repro.store`` artifact (``kind="compoff"``)."""
+        from ..store.artifact import save_compoff
+        return save_compoff(self, path, name=name, overwrite=overwrite)
+
+    @classmethod
+    def load(cls, path, *, verify: bool = True) -> "COMPOFFModel":
+        """Restore a fitted baseline; predictions are bit-identical to the
+        model that saved the artifact.  Subclasses reconstruct as
+        themselves (their ``__init__`` must keep this signature)."""
+        from ..store.artifact import load_compoff
+        return load_compoff(path, verify=verify, model_cls=cls)

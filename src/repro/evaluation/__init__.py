@@ -13,6 +13,7 @@ from .experiments import (
     figure4_series,
     figure5_series,
     figure6_series,
+    pinned_session,
     run_main_experiment,
     table2_rows,
     table3_rows,
@@ -29,6 +30,7 @@ __all__ = [
     "format_curves",
     "format_series",
     "format_table",
+    "pinned_session",
     "run_ablation",
     "run_comparison",
     "run_main_experiment",

@@ -154,3 +154,18 @@ def run_main_experiment(
         seed=scale.seed,
     )
     return Session(config).workflow()
+
+
+def pinned_session(ref: str, *, registry_root: str) -> Session:
+    """Warm-start a registry-pinned model set for evaluation or soaks.
+
+    Resolves ``name@version`` (or a bare name via the ``latest`` pointer)
+    in the :class:`repro.store.ModelRegistry` at *registry_root* and loads
+    it with zero retraining, so an evaluation or soak run is reproducible
+    against one frozen set of weights.  The returned session serves
+    predictions but carries no datasets; drivers that need the training
+    build (``workflow()``) must train in-process instead.
+    """
+    from ..store.registry import ModelRegistry
+
+    return ModelRegistry(registry_root).load(ref)

@@ -12,6 +12,13 @@ orders of magnitude; this module provides:
 
 All scalers are NumPy-vectorized, operate column-wise on 2-D arrays (1-D
 arrays are treated as a single column) and support exact inverse transforms.
+
+Fitted scaler state round-trips through plain dicts (``to_dict`` /
+:func:`scaler_from_dict`): the fitted statistics serialize as lists of
+Python floats, which JSON preserves bit-exactly (repr-based shortest
+round-trip), so a model restored from a ``repro.store`` artifact scales
+inputs and inverts predictions bit-identically to the trainer that fitted
+the scaler.
 """
 
 from __future__ import annotations
@@ -19,6 +26,58 @@ from __future__ import annotations
 from typing import Optional
 
 import numpy as np
+
+__all__ = [
+    "LogMinMaxScaler",
+    "MinMaxScaler",
+    "StandardScaler",
+    "scaler_from_dict",
+]
+
+
+def _floats(values: np.ndarray) -> list:
+    """A JSON-safe (and bit-exact) list form of a float64 state array."""
+    return [float(value) for value in np.asarray(values, dtype=np.float64)]
+
+
+def _state_array(payload: dict, key: str) -> np.ndarray:
+    if key not in payload:
+        raise ValueError(f"scaler payload is missing the {key!r} field")
+    try:
+        values = np.asarray(payload[key], dtype=np.float64)
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"scaler field {key!r} is not a numeric array: "
+            f"{payload[key]!r}") from None
+    if values.ndim != 1:
+        raise ValueError(f"scaler field {key!r} must be one-dimensional, "
+                         f"got shape {values.shape}")
+    if not np.isfinite(values).all():
+        raise ValueError(f"scaler field {key!r} contains non-finite values "
+                         "(NaN/Inf) — corrupted state")
+    return values
+
+
+def _feature_range(payload: dict):
+    raw = payload.get("feature_range", (0.0, 1.0))
+    if not isinstance(raw, (list, tuple)) or len(raw) != 2:
+        raise ValueError("scaler field 'feature_range' must be a "
+                         f"[low, high] pair, got {raw!r}")
+    try:
+        return float(raw[0]), float(raw[1])
+    except (TypeError, ValueError):
+        raise ValueError("scaler field 'feature_range' must hold two "
+                         f"numbers, got {raw!r}") from None
+
+
+def _matched_pair(payload: dict, low_key: str, high_key: str):
+    low = _state_array(payload, low_key)
+    high = _state_array(payload, high_key)
+    if low.shape != high.shape:
+        raise ValueError(
+            f"scaler fields {low_key!r}/{high_key!r} disagree in length: "
+            f"{low.shape} vs {high.shape}")
+    return low, high
 
 
 class _BaseScaler:
@@ -93,6 +152,27 @@ class MinMaxScaler(_BaseScaler):
         unit = (values - low) / (high - low)
         return self._restore(unit * self._scale() + self.data_min_)
 
+    def to_dict(self) -> dict:
+        self._check_fitted()
+        return {
+            "type": "minmax",
+            "feature_range": [self.feature_range[0], self.feature_range[1]],
+            "data_min": _floats(self.data_min_),
+            "data_max": _floats(self.data_max_),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "MinMaxScaler":
+        scaler = cls(feature_range=_feature_range(payload))
+        low, high = _matched_pair(payload, "data_min", "data_max")
+        if np.any(low > high):
+            raise ValueError(
+                "scaler fields 'data_min'/'data_max' are inverted "
+                "(min > max) — corrupted state")
+        scaler.data_min_, scaler.data_max_ = low, high
+        scaler._fitted = True
+        return scaler
+
 
 class StandardScaler(_BaseScaler):
     """Zero-mean, unit-variance scaling per column."""
@@ -121,6 +201,26 @@ class StandardScaler(_BaseScaler):
         self._check_fitted()
         values = self._ensure_2d(values)
         return self._restore(values * self.std_ + self.mean_)
+
+    def to_dict(self) -> dict:
+        self._check_fitted()
+        return {
+            "type": "standard",
+            "mean": _floats(self.mean_),
+            "std": _floats(self.std_),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "StandardScaler":
+        scaler = cls()
+        mean, std = _matched_pair(payload, "mean", "std")
+        if np.any(std <= 0.0):
+            raise ValueError("scaler field 'std' must be strictly positive "
+                             "(fit maps zero-variance columns to 1.0) — "
+                             "corrupted state")
+        scaler.mean_, scaler.std_ = mean, std
+        scaler._fitted = True
+        return scaler
 
 
 class LogMinMaxScaler(_BaseScaler):
@@ -155,3 +255,36 @@ class LogMinMaxScaler(_BaseScaler):
         values = self._ensure_2d(values)
         inner = self._inner.inverse_transform(values).reshape(values.shape)
         return self._restore(np.expm1(inner))
+
+    def to_dict(self) -> dict:
+        self._check_fitted()
+        inner = self._inner.to_dict()
+        inner["type"] = "log_minmax"
+        return inner
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "LogMinMaxScaler":
+        scaler = cls(feature_range=_feature_range(payload))
+        scaler._inner = MinMaxScaler.from_dict(payload)
+        scaler._fitted = True
+        return scaler
+
+
+#: ``type`` tag → scaler class, for :func:`scaler_from_dict`.
+_SCALER_TYPES = {
+    "minmax": MinMaxScaler,
+    "standard": StandardScaler,
+    "log_minmax": LogMinMaxScaler,
+}
+
+
+def scaler_from_dict(payload: dict):
+    """Rebuild any fitted scaler from its ``to_dict`` payload."""
+    if not isinstance(payload, dict):
+        raise ValueError(
+            f"scaler payload must be a dict, got {type(payload).__name__}")
+    kind = payload.get("type")
+    if kind not in _SCALER_TYPES:
+        raise ValueError(f"unknown scaler type {kind!r}; known types: "
+                         f"{sorted(_SCALER_TYPES)}")
+    return _SCALER_TYPES[kind].from_dict(payload)

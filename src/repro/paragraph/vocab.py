@@ -90,6 +90,34 @@ class Vocabulary:
         return matrix
 
     # ------------------------------------------------------------------ #
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Vocabulary) and self._labels == other._labels
+
+    def __hash__(self) -> int:
+        # immutable in practice: labels are fixed at construction
+        return hash(tuple(self._labels))
+
+    def to_dict(self) -> dict:
+        """JSON-safe form: the exact label order (``<UNK>`` included), so a
+        restored vocabulary assigns bit-identical indices."""
+        return {"labels": list(self._labels)}
+
+    @classmethod
+    def from_dict(cls, payload) -> "Vocabulary":
+        """Inverse of :meth:`to_dict`; validates the payload shape."""
+        if not isinstance(payload, dict) or "labels" not in payload:
+            raise ValueError(
+                "vocabulary payload must be a dict with a 'labels' list, got "
+                f"{type(payload).__name__}")
+        labels = payload["labels"]
+        if not isinstance(labels, (list, tuple)) or \
+                not all(isinstance(label, str) for label in labels):
+            raise ValueError("vocabulary 'labels' must be a list of strings")
+        if len(set(labels)) != len(labels):
+            raise ValueError("vocabulary 'labels' contains duplicates")
+        return cls(labels)
+
+    # ------------------------------------------------------------------ #
     @classmethod
     def fit(cls, label_sequences: Iterable[Iterable[str]]) -> "Vocabulary":
         """Build a vocabulary from a corpus of label sequences."""

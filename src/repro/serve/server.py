@@ -157,10 +157,14 @@ class ServerStats(NamedTuple):
     max_coalesced: int
     coalesced_total: int
     peak_depth: int
+    #: True when the session's model set was warm-started from a
+    #: ``repro.store`` artifact instead of trained in-process.
+    warm_started: bool = False
 
     @classmethod
-    def of(cls, num_workers: int, stats: BatcherStats) -> "ServerStats":
-        return cls(num_workers, *stats)
+    def of(cls, num_workers: int, stats: BatcherStats,
+           warm_started: bool = False) -> "ServerStats":
+        return cls(num_workers, *stats, warm_started=warm_started)
 
 
 class Server:
@@ -195,6 +199,20 @@ class Server:
                 daemon=True, name=f"repro-serve-worker-{index}")
             worker.start()
             self._workers.append(worker)
+
+    @classmethod
+    def from_artifact(cls, path, config: Optional[ServerConfig] = None,
+                      **load_kwargs) -> "Server":
+        """Warm-start a server straight from a ``repro.store`` artifact.
+
+        Loads the artifact into a fresh session (no retraining — cold
+        start is artifact I/O, not minutes of training) and wraps it in a
+        server; ``server.stats().warm_started`` reports the provenance.
+        Forwarded *load_kwargs* reach ``repro.store.load_session`` (e.g.
+        ``verify=False`` to skip checksums).
+        """
+        from ..store.artifact import load_session
+        return cls(load_session(path, **load_kwargs), config)
 
     # ------------------------------------------------------------------ #
     # request entry points
@@ -359,8 +377,11 @@ class Server:
         return self._session
 
     def stats(self) -> ServerStats:
-        """Queue/coalescing accounting (all-zero until traffic arrives)."""
-        return ServerStats.of(self.config.num_workers, self._batcher.stats())
+        """Queue/coalescing accounting (all-zero until traffic arrives),
+        plus whether the model set was warm-started from an artifact."""
+        return ServerStats.of(self.config.num_workers, self._batcher.stats(),
+                              bool(getattr(self._session, "warm_started",
+                                           False)))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return (f"Server(workers={self.config.num_workers}, "

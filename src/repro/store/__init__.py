@@ -1,0 +1,79 @@
+"""``repro.store`` — model artifact store and zero-retrain warm starts.
+
+The missing persistence layer of the serving story: a content-addressed,
+versioned artifact format (``manifest.json`` + ``.npz`` weight payloads)
+capturing everything a serving-ready model set needs — per-platform
+``state_dict``s, vocabulary, encoder settings, the full
+:class:`~repro.api.config.ReproConfig`, fitted scaler state, and
+provenance (repro version, seed, dataset fingerprint, creation time).
+
+* :func:`save_session` / :func:`load_session` — persist and warm-start a
+  :class:`~repro.api.session.Session`; loaded sessions skip training and
+  predict **bit-identically** (float64) to the session that saved them
+  (``Session.save`` / ``Session.load`` are thin wrappers),
+* :func:`save_trainers` / :func:`load_trainers` — the same for bare
+  ``{platform: Trainer}`` model sets,
+* :func:`save_compoff` / :func:`load_compoff` — COMPOFF baseline
+  coefficients as artifacts,
+* :class:`ModelRegistry` — ``name@version`` → artifact resolution with a
+  ``latest`` pointer, for pinned evaluation/soak model sets,
+* :func:`verify_artifact` / :func:`inspect_artifact` — integrity checking
+  (schema, version compatibility, checksums, dtypes, finiteness) with
+  errors that name the offending manifest field,
+* ``python -m repro.store`` — ``save`` / ``load`` / ``inspect`` /
+  ``verify`` from the command line.
+
+See ``STORE.md`` for the artifact layout and the manifest schema.
+"""
+
+from .artifact import (
+    LoadedModelSet,
+    VerificationReport,
+    artifact_size_bytes,
+    dataset_fingerprint,
+    inspect_artifact,
+    load_compoff,
+    load_session,
+    load_trainers,
+    read_manifest,
+    save_compoff,
+    save_session,
+    save_trainers,
+    verify_artifact,
+)
+from .manifest import (
+    ARTIFACT_KINDS,
+    CorruptArtifactError,
+    MANIFEST_NAME,
+    SCHEMA_VERSION,
+    StoreError,
+    VersionMismatchError,
+    check_compatibility,
+    validate_manifest,
+)
+from .registry import ModelRegistry
+
+__all__ = [
+    "ARTIFACT_KINDS",
+    "CorruptArtifactError",
+    "LoadedModelSet",
+    "MANIFEST_NAME",
+    "ModelRegistry",
+    "SCHEMA_VERSION",
+    "StoreError",
+    "VerificationReport",
+    "VersionMismatchError",
+    "artifact_size_bytes",
+    "check_compatibility",
+    "dataset_fingerprint",
+    "inspect_artifact",
+    "load_compoff",
+    "load_session",
+    "load_trainers",
+    "read_manifest",
+    "save_compoff",
+    "save_session",
+    "save_trainers",
+    "validate_manifest",
+    "verify_artifact",
+]

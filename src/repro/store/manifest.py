@@ -1,0 +1,184 @@
+"""Manifest schema of a ``repro.store`` artifact.
+
+An artifact is a directory holding one ``manifest.json`` plus one ``.npz``
+weight payload per model.  The manifest captures *everything* needed to
+reconstruct a serving-ready model set without retraining:
+
+* the full :class:`~repro.api.config.ReproConfig` tree (or the COMPOFF
+  config for ``kind="compoff"`` artifacts),
+* the :class:`~repro.paragraph.vocab.Vocabulary` labels and the encoder
+  settings, so restored feature matrices are bit-identical,
+* per-model entries: weight file, SHA-256 checksum, per-array dtypes, the
+  fitted scaler state, and the validation metrics recorded at save time,
+* provenance: the ``repro`` version that wrote it, the manifest schema
+  version, creation time, the config seed and a dataset fingerprint.
+
+Validation is *field-naming*: every schema violation raises
+:class:`CorruptArtifactError` (or :class:`VersionMismatchError`) with the
+dotted path of the offending field, so a broken artifact tells you exactly
+what is wrong instead of failing deep inside model construction.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Optional, Tuple
+
+__all__ = [
+    "ARTIFACT_KINDS",
+    "CorruptArtifactError",
+    "MANIFEST_NAME",
+    "SCHEMA_VERSION",
+    "StoreError",
+    "VersionMismatchError",
+    "check_compatibility",
+    "validate_manifest",
+]
+
+#: file name of the manifest inside an artifact directory.
+MANIFEST_NAME = "manifest.json"
+
+#: the manifest format version this build reads and writes.
+SCHEMA_VERSION = 1
+
+#: the artifact kinds the store knows how to reconstruct.
+ARTIFACT_KINDS = ("session", "compoff")
+
+
+class StoreError(Exception):
+    """Base class of every ``repro.store`` failure."""
+
+
+class CorruptArtifactError(StoreError):
+    """The artifact is structurally broken: unreadable manifest, schema
+    violation, checksum mismatch, missing or undecodable payload.  The
+    message names the offending manifest field or file."""
+
+
+class VersionMismatchError(StoreError):
+    """The artifact was written by an incompatible schema or ``repro``
+    version.  The message names the offending field and both versions."""
+
+
+# --------------------------------------------------------------------- #
+# field-level validation helpers
+# --------------------------------------------------------------------- #
+def _fail(field: str, problem: str) -> None:
+    raise CorruptArtifactError(f"manifest field {field!r}: {problem}")
+
+
+def _expect(payload: Mapping, field: str, types, path: str):
+    """Fetch ``payload[field]`` checking presence and type; returns it."""
+    dotted = f"{path}.{field}" if path else field
+    if field not in payload:
+        _fail(dotted, "missing")
+    value = payload[field]
+    if types is not None and not isinstance(value, types):
+        type_names = "/".join(t.__name__ for t in (
+            types if isinstance(types, tuple) else (types,)))
+        _fail(dotted, f"expected {type_names}, got {type(value).__name__}")
+    return value
+
+
+def _check_scaler(payload, path: str) -> None:
+    if not isinstance(payload, dict):
+        _fail(path, f"expected a scaler dict, got {type(payload).__name__}")
+    kind = payload.get("type")
+    if not isinstance(kind, str):
+        _fail(f"{path}.type", "missing or not a string")
+
+
+def _check_model_entry(entry, index: int) -> None:
+    path = f"models[{index}]"
+    if not isinstance(entry, dict):
+        _fail(path, f"expected an object, got {type(entry).__name__}")
+    _expect(entry, "name", str, path)
+    weights = _expect(entry, "weights", str, path)
+    if ".." in weights.split("/") or weights.startswith("/"):
+        _fail(f"{path}.weights", f"path {weights!r} escapes the artifact "
+              "directory")
+    sha256 = _expect(entry, "sha256", str, path)
+    if len(sha256) != 64 or any(c not in "0123456789abcdef" for c in sha256):
+        _fail(f"{path}.sha256", f"not a lowercase hex SHA-256 digest: "
+              f"{sha256!r}")
+    dtypes = _expect(entry, "dtypes", dict, path)
+    for key, value in dtypes.items():
+        if not isinstance(value, str):
+            _fail(f"{path}.dtypes[{key!r}]", "dtype must be a string")
+    _expect(entry, "num_parameters", int, path)
+    scalers = _expect(entry, "scalers", dict, path)
+    for scaler_name, scaler_payload in scalers.items():
+        _check_scaler(scaler_payload, f"{path}.scalers.{scaler_name}")
+    metrics = _expect(entry, "metrics", dict, path)
+    for key, value in metrics.items():
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            _fail(f"{path}.metrics[{key!r}]",
+                  f"metric must be a number, got {value!r}")
+
+
+def validate_manifest(payload) -> None:
+    """Raise :class:`CorruptArtifactError` naming the first invalid field."""
+    if not isinstance(payload, dict):
+        raise CorruptArtifactError(
+            f"manifest root: expected a JSON object, got "
+            f"{type(payload).__name__}")
+    _expect(payload, "schema_version", int, "")
+    _expect(payload, "repro_version", str, "")
+    kind = _expect(payload, "kind", str, "")
+    if kind not in ARTIFACT_KINDS:
+        _fail("kind", f"unknown artifact kind {kind!r}; known kinds: "
+              f"{list(ARTIFACT_KINDS)}")
+    _expect(payload, "name", str, "")
+    _expect(payload, "created_at", str, "")
+    _expect(payload, "config", dict, "")
+    models = _expect(payload, "models", list, "")
+    if not models:
+        _fail("models", "artifact contains no models")
+    # per-entry checks first, so a malformed entry is named precisely
+    # ("models[0]: expected an object") instead of as a duplicate name
+    for index, entry in enumerate(models):
+        _check_model_entry(entry, index)
+    names = [entry["name"] for entry in models]
+    if len(set(names)) != len(models):
+        _fail("models", "duplicate model entry names")
+    if kind == "session":
+        vocabulary = _expect(payload, "vocabulary", dict, "")
+        labels = _expect(vocabulary, "labels", list, "vocabulary")
+        if not all(isinstance(label, str) for label in labels):
+            _fail("vocabulary.labels", "labels must all be strings")
+        encoder = _expect(payload, "encoder", dict, "")
+        for flag in ("include_terminal_flag", "log_scale_weights"):
+            _expect(encoder, flag, bool, "encoder")
+    fingerprint = payload.get("dataset_fingerprint")
+    if fingerprint is not None and not isinstance(fingerprint, str):
+        _fail("dataset_fingerprint", "must be a string or null")
+
+
+# --------------------------------------------------------------------- #
+# version compatibility
+# --------------------------------------------------------------------- #
+def _version_tuple(version: str) -> Tuple[int, ...]:
+    parts: List[int] = []
+    for chunk in version.split(".")[:3]:
+        digits = "".join(ch for ch in chunk if ch.isdigit())
+        parts.append(int(digits) if digits else 0)
+    return tuple(parts)
+
+
+def check_compatibility(payload: Mapping,
+                        current_version: Optional[str] = None) -> None:
+    """Raise :class:`VersionMismatchError` when the artifact cannot be
+    loaded by this build (schema or major-version drift)."""
+    if current_version is None:
+        import repro
+        current_version = repro.__version__
+    schema = payload.get("schema_version")
+    if schema != SCHEMA_VERSION:
+        raise VersionMismatchError(
+            f"manifest field 'schema_version': artifact uses manifest schema "
+            f"{schema!r}, this repro build supports {SCHEMA_VERSION}")
+    written_by = str(payload.get("repro_version", ""))
+    if _version_tuple(written_by)[:1] != _version_tuple(current_version)[:1]:
+        raise VersionMismatchError(
+            f"manifest field 'repro_version': artifact was written by repro "
+            f"{written_by!r}, incompatible with this build "
+            f"({current_version!r}); major versions must match")

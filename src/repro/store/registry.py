@@ -1,0 +1,258 @@
+"""``name@version`` → artifact path resolution with a ``latest`` pointer.
+
+A :class:`ModelRegistry` is a directory of published artifacts::
+
+    <root>/
+      <name>/
+        v1/            # one artifact directory per version
+        v2/
+        LATEST         # text file naming the current default version
+
+Evaluation drivers and soak benchmarks pull *pinned* model sets
+(``registry.load("paragraph@v2")``) so a run is reproducible against one
+frozen set of weights, while serving deployments follow
+``registry.load("paragraph")`` — the ``latest`` pointer — and pick up new
+versions on republish.  Publishing is atomic enough for the single-writer
+case this repo needs: the artifact is fully written before ``LATEST``
+flips.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import shutil
+from typing import List, Optional, Tuple
+
+from .artifact import _unique_suffix, load_session, save_session, verify_artifact
+from .manifest import StoreError
+
+__all__ = ["ModelRegistry"]
+
+#: model names / versions must be path-safe slugs.
+_NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+
+LATEST_FILE = "LATEST"
+
+
+def _check_slug(value: str, what: str) -> str:
+    if not _NAME_RE.match(value or ""):
+        raise StoreError(
+            f"invalid {what} {value!r}: must match {_NAME_RE.pattern} "
+            "(letters, digits, '.', '_', '-'; no path separators)")
+    return value
+
+
+def _check_version(value: str) -> str:
+    """Version slugs additionally exclude the registry's own reserved
+    names: the ``LATEST`` pointer file and staged-copy leftovers."""
+    _check_slug(value, "version")
+    if value in (LATEST_FILE, "latest"):
+        raise StoreError(
+            f"invalid version {value!r}: reserved for the latest pointer "
+            "(refs spell it 'name@latest', published versions cannot)")
+    if ".staging." in value:
+        raise StoreError(
+            f"invalid version {value!r}: '.staging.' names are reserved "
+            "for in-flight publishes")
+    return value
+
+
+def split_ref(ref: str) -> Tuple[str, Optional[str]]:
+    """``"name@version"`` → (name, version); bare ``"name"`` → (name, None).
+
+    ``"name@latest"`` also resolves to (name, None).
+    """
+    name, _, version = ref.partition("@")
+    _check_slug(name, "model name")
+    if not version or version == "latest":
+        return name, None
+    return name, _check_version(version)
+
+
+def _commit_staged(stage: str, destination: str) -> None:
+    """Swap a fully-written staging directory into *destination*.
+
+    Whole-directory renames: a failed copy/save never touches the live
+    version, and a mid-swap crash leaves the previous version recoverable
+    in a ``.staging.<pid>.<hex>.old`` backup (the infix keeps it out of
+    ``versions()``).  Note the remaining caveat: a reader that opens the
+    manifest *before* the swap and the weight payloads *after* it can
+    still pair old manifest with new payloads (surfacing as a checksum
+    error) — published versions are immutable by convention, so
+    ``overwrite=True`` on a version with live readers is a repair tool;
+    roll live traffic forward by publishing a *new* version and flipping
+    ``latest``.
+    """
+    backup = None
+    if os.path.isdir(destination):
+        backup = f"{destination}.staging.{_unique_suffix()}.old"
+        os.rename(destination, backup)
+    os.rename(stage, destination)
+    if backup is not None:
+        shutil.rmtree(backup, ignore_errors=True)
+
+
+class ModelRegistry:
+    """Filesystem-backed mapping from ``name@version`` to artifacts."""
+
+    def __init__(self, root: str) -> None:
+        self.root = os.fspath(root)
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def names(self) -> List[str]:
+        """Every published model name."""
+        if not os.path.isdir(self.root):
+            return []
+        return sorted(
+            entry for entry in os.listdir(self.root)
+            if os.path.isdir(os.path.join(self.root, entry))
+            and _NAME_RE.match(entry))
+
+    def versions(self, name: str) -> List[str]:
+        """Published versions of *name*, ``v<N>`` versions in numeric order."""
+        directory = os.path.join(self.root, _check_slug(name, "model name"))
+        if not os.path.isdir(directory):
+            return []
+
+        def sort_key(version: str):
+            match = re.fullmatch(r"v(\d+)", version)
+            return (0, int(match.group(1)), "") if match else (1, 0, version)
+
+        return sorted(
+            (entry for entry in os.listdir(directory)
+             if os.path.isdir(os.path.join(directory, entry))
+             and entry != LATEST_FILE and ".staging." not in entry),
+            key=sort_key)
+
+    def latest(self, name: str) -> Optional[str]:
+        """The version the ``latest`` pointer currently names (or ``None``)."""
+        pointer = os.path.join(self.root, _check_slug(name, "model name"),
+                               LATEST_FILE)
+        if not os.path.exists(pointer):
+            return None
+        with open(pointer, "r", encoding="utf-8") as handle:
+            version = handle.read().strip()
+        if not version:
+            return None
+        try:
+            _check_version(version)
+        except StoreError as error:
+            # a hand-edited/corrupted pointer must never resolve to a path
+            # outside the model's own directory
+            raise StoreError(
+                f"corrupt {LATEST_FILE} pointer for {name!r} at {pointer}: "
+                f"{error}") from error
+        return version
+
+    def path_for(self, ref: str) -> str:
+        """Resolve ``name[@version]`` to the artifact directory.
+
+        Bare names (or ``@latest``) follow the ``latest`` pointer.  Raises
+        :class:`StoreError` naming the missing piece.
+        """
+        name, version = split_ref(ref)
+        if version is None:
+            version = self.latest(name)
+            if version is None:
+                known = self.versions(name)
+                raise StoreError(
+                    f"model {name!r} has no 'latest' pointer in registry "
+                    f"{self.root}" + (f"; published versions: {known}"
+                                      if known else "; nothing published"))
+        path = os.path.join(self.root, name, version)
+        if not os.path.isdir(path):
+            raise StoreError(
+                f"model {name}@{version} is not published in registry "
+                f"{self.root}; published versions: {self.versions(name)}")
+        return path
+
+    # ------------------------------------------------------------------ #
+    # publishing
+    # ------------------------------------------------------------------ #
+    def _next_version(self, name: str) -> str:
+        numbers = [int(match.group(1)) for match in
+                   (re.fullmatch(r"v(\d+)", version)
+                    for version in self.versions(name)) if match]
+        return f"v{max(numbers, default=0) + 1}"
+
+    def publish(self, name: str, session=None, *, artifact: Optional[str] = None,
+                version: Optional[str] = None, set_latest: bool = True,
+                overwrite: bool = False) -> str:
+        """Publish a trained session (or an existing artifact directory).
+
+        Exactly one of *session* / *artifact* must be given; *version*
+        defaults to the next ``v<N>``.  Returns the ``name@version`` ref.
+
+        Published versions are immutable by convention: roll a model
+        forward by publishing a new version (``latest`` flips only after
+        the artifact is fully written).  ``overwrite=True`` replaces an
+        existing version via a staged whole-directory swap — safe against
+        crashes and single readers, but a version being actively read
+        should be replaced by a *new* version, not overwritten in place.
+        """
+        _check_slug(name, "model name")
+        if (session is None) == (artifact is None):
+            raise StoreError(
+                "publish needs exactly one source: a session to save, or "
+                "artifact=<path> to import an existing artifact directory")
+        version = _check_version(version) if version \
+            else self._next_version(name)
+        destination = os.path.join(self.root, name, version)
+        if os.path.isdir(destination) and not overwrite:
+            raise StoreError(
+                f"model {name}@{version} is already published (pass "
+                "overwrite=True to replace it)")
+        if artifact is not None:
+            # one verification pass covers manifest validity, payload
+            # checksums and reconstruction; its report carries the kind
+            report = verify_artifact(artifact)
+            if not report.ok:
+                raise StoreError(
+                    f"refusing to publish a corrupt artifact from {artifact}:"
+                    f"\n{report.summary()}")
+            if report.kind != "session":
+                raise StoreError(
+                    f"cannot publish {report.kind!r} artifact {artifact} "
+                    "to the model registry: registry.load() warm-starts "
+                    "sessions, so only kind='session' artifacts resolve")
+        # both branches produce a complete staging directory first, then
+        # whole-directory swap: a failed save/copy never touches the live
+        # version, and concurrent readers never observe a torn artifact
+        stage = f"{destination}.staging.{_unique_suffix()}"
+        try:
+            if session is not None:
+                save_session(session, stage, name=name, overwrite=True)
+            else:
+                shutil.copytree(artifact, stage)
+        except BaseException:
+            shutil.rmtree(stage, ignore_errors=True)
+            raise
+        _commit_staged(stage, destination)
+        if set_latest:
+            self.set_latest(name, version)
+        return f"{name}@{version}"
+
+    def set_latest(self, name: str, version: str) -> None:
+        """Point ``name``'s ``latest`` at *version* (which must exist)."""
+        _check_slug(name, "model name")
+        _check_version(version)
+        if not os.path.isdir(os.path.join(self.root, name, version)):
+            raise StoreError(
+                f"cannot point latest at unpublished {name}@{version}; "
+                f"published versions: {self.versions(name)}")
+        pointer = os.path.join(self.root, name, LATEST_FILE)
+        temporary = pointer + ".tmp"
+        with open(temporary, "w", encoding="utf-8") as handle:
+            handle.write(version + "\n")
+        os.replace(temporary, pointer)
+
+    # ------------------------------------------------------------------ #
+    def load(self, ref: str, **load_kwargs):
+        """Resolve *ref* and warm-start a session from the artifact."""
+        return load_session(self.path_for(ref), **load_kwargs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"ModelRegistry(root={self.root!r}, names={self.names()})"

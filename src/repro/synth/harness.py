@@ -21,6 +21,10 @@ cross-layer invariant checked over many seeded generated cases:
   autodiff fallback and a NumPy oracle agree,
 * ``config-roundtrip`` — random valid configs survive
   ``to_dict``/``from_dict``/JSON round trips unchanged,
+* ``store-roundtrip`` — random model sets (config × conv × readout ×
+  encoder flags) written as ``repro.store`` artifacts verify cleanly and
+  load back with bit-identical state dicts, scaler state and float64
+  predictions,
 * ``serving-context-isolation`` — seeded concurrent workloads: threads
   holding different :class:`repro.nn.InferenceContext` configurations
   (float32 serving, float64 parity, grad-recording training) run
@@ -441,6 +445,93 @@ def check_context_isolation(seed: int) -> None:
     assert is_grad_enabled() and get_default_dtype() == np.float64
 
 
+def check_store_roundtrip(seed: int) -> None:
+    """Artifact save → verify → load reproduces a model set bit for bit.
+
+    Seeded plan: a random :class:`~repro.api.config.ReproConfig` (conv
+    kind, depth, readout, encoder flags, 1-2 platforms) with scaler-fitted
+    trainers over random encoded graphs is written with
+    :func:`repro.store.save_trainers`; the artifact must pass
+    :func:`repro.store.verify_artifact`, and the loaded trainers must
+    carry bit-identical float64 state dicts (dtypes preserved), identical
+    scaler payloads, and produce bit-identical float64 predictions (with
+    float32 serving staying within the usual tolerance).
+    """
+    import shutil
+    import tempfile
+
+    from ..api.config import DataConfig, GraphConfig, ModelConfig, READOUTS, ReproConfig
+    from ..ml.dataset import GraphDataset
+    from ..ml.trainer import Trainer, TrainingConfig
+    from ..store.artifact import load_trainers, save_trainers, verify_artifact
+
+    rng = np.random.default_rng(seed)
+    platforms = ("NVIDIA V100", "AMD MI50")
+    chosen = tuple(platforms[:1 + int(rng.integers(0, 2))])
+    config = ReproConfig(
+        data=DataConfig(platforms=chosen),
+        graph=GraphConfig(include_terminal_flag=bool(rng.integers(0, 2)),
+                          log_scale_weights=bool(rng.integers(0, 2))),
+        model=ModelConfig(hidden_dim=int(rng.integers(2, 9)),
+                          conv=str(rng.choice(["rgat", "rgcn"])),
+                          num_conv_layers=int(rng.integers(1, 3)),
+                          readout=str(rng.choice(READOUTS))),
+        training=TrainingConfig(epochs=int(rng.integers(1, 5)),
+                                batch_size=int(rng.integers(4, 33)),
+                                seed=int(rng.integers(0, 1000))),
+        seed=int(rng.integers(0, 1000)),
+    )
+    encoder = config.make_encoder()
+    shapes = GraphGenConfig(num_nodes=(2, 12), feature_dim=encoder.feature_dim)
+    dataset = GraphDataset(
+        [random_encoded_graph(seed * 100 + index, shapes) for index in range(3)],
+        name="synth-store")
+    trainers = {}
+    for platform in chosen:
+        model = config.model.build(node_feature_dim=encoder.feature_dim,
+                                   use_edge_weight=config.graph.use_edge_weight,
+                                   seed=config.seed)
+        trainer = Trainer(model, config.training)
+        trainer._fit_scalers(dataset)
+        trainers[platform] = trainer
+
+    scratch = tempfile.mkdtemp(prefix="repro-store-synth-")
+    try:
+        path = f"{scratch}/artifact"
+        save_trainers(path, trainers, config=config, encoder=encoder,
+                      name=f"synth-{seed}")
+        report = verify_artifact(path)
+        assert report.ok, f"verify failed:\n{report.summary()}"
+        loaded = load_trainers(path)
+        assert loaded.config.to_dict() == config.to_dict(), \
+            "config did not survive the artifact round trip"
+        assert loaded.encoder.vocabulary.labels() == encoder.vocabulary.labels()
+        for platform, trainer in trainers.items():
+            restored = loaded.trainers[platform]
+            state = trainer.model.state_dict()
+            restored_state = restored.model.state_dict()
+            assert set(state) == set(restored_state)
+            for key, value in state.items():
+                assert restored_state[key].dtype == value.dtype, \
+                    f"{platform}/{key}: dtype not preserved"
+                np.testing.assert_array_equal(restored_state[key], value,
+                                              err_msg=f"{platform}/{key}")
+            assert restored.target_scaler.to_dict() == \
+                trainer.target_scaler.to_dict()
+            assert restored.aux_scaler.to_dict() == trainer.aux_scaler.to_dict()
+            exact = trainer.predict(dataset)
+            np.testing.assert_array_equal(
+                restored.predict(dataset), exact,
+                err_msg=f"{platform}: float64 predictions not bit-identical")
+            served = restored.predict(dataset, dtype=np.float32)
+            scale = 1.0 + float(np.abs(exact).max())
+            np.testing.assert_allclose(
+                served, exact, atol=1e-3 * scale,
+                err_msg=f"{platform}: float32 serving drifted after reload")
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+
+
 def check_config_roundtrip(seed: int) -> None:
     from ..api.config import DataConfig, GraphConfig, ModelConfig, READOUTS, ReproConfig
     from ..ml.trainer import TrainingConfig
@@ -511,6 +602,7 @@ _register("gnn-gradient-parity", check_gnn_gradient_parity, 8, "gnn")
 _register("float32-serving-bounds", check_float32_serving_bounds, 12, "nn")
 _register("pooling-paths", check_pooling_paths, 16, "gnn")
 _register("config-roundtrip", check_config_roundtrip, 16, "api")
+_register("store-roundtrip", check_store_roundtrip, 6, "store")
 _register("serving-context-isolation", check_context_isolation, 6, "serve")
 
 #: sum of the per-scenario defaults — the tier-1 corpus size.
