@@ -1,0 +1,10 @@
+/* Reduction done right: the accumulator is named in a reduction clause,
+ * so the race checker must not fire. */
+void dot_product(int n, double *x, double *y, double *result) {
+  double acc = 0.0;
+  #pragma omp parallel for reduction(+:acc)
+  for (int i = 0; i < n; i++) {
+    acc += x[i] * y[i];
+  }
+  result[0] = acc;
+}

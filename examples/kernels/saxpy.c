@@ -1,0 +1,7 @@
+/* Clean SAXPY kernel: the analysis CLI must report zero issues here. */
+void saxpy(int n, double a, double *x, double *y) {
+  #pragma omp parallel for
+  for (int i = 0; i < n; i++) {
+    y[i] = a * x[i] + y[i];
+  }
+}

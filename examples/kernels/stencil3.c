@@ -1,0 +1,9 @@
+/* Three-point stencil into a separate output array: independent
+ * iterations, so parallelizing the outer loop is legal and the analyzer
+ * must stay silent. */
+void stencil3(int n, double *out, double *in) {
+  #pragma omp parallel for
+  for (int i = 1; i < n - 1; i++) {
+    out[i] = 0.25 * in[i - 1] + 0.5 * in[i] + 0.25 * in[i + 1];
+  }
+}

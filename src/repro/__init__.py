@@ -12,6 +12,9 @@ et al.), including every substrate the paper depends on:
 * ``repro.ml`` -- datasets, scalers, metrics and the training loop,
 * ``repro.kernels`` -- the Table I benchmark applications,
 * ``repro.advisor`` -- kernel analysis and the six OpenMP transformations,
+* ``repro.analysis`` -- pluggable static-analysis checkers (uninitialized
+  reads, array bounds, dead stores, OpenMP races, loop-carried
+  dependences) with text/JSON reports and a CLI,
 * ``repro.compoff`` -- the COMPOFF baseline cost model,
 * ``repro.hardware`` -- analytical Summit/Corona accelerator simulator,
 * ``repro.pipeline`` -- the legacy end-to-end workflow (thin shim over
@@ -56,6 +59,7 @@ __version__ = "1.2.0"
 
 _SUBPACKAGES = (
     "advisor",
+    "analysis",
     "api",
     "clang",
     "compoff",

@@ -15,9 +15,11 @@ is used to determine which transformation provides the best performance."
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
+from ..analysis.issues import Issue
+from ..analysis.runner import AnalyzerRunner
 from ..kernels.base import KernelDefinition
 from .kernel_analysis import KernelAnalysis, analyze_kernel
 from .transformations import (
@@ -39,6 +41,9 @@ class Recommendation:
     kernel: KernelDefinition
     best_variant: KernelVariant
     predicted_runtimes: Dict[str, float]   # variant name -> microseconds
+    #: static-analysis findings per variant kind (``repro.analysis`` issues),
+    #: so a fast-but-racy transformation is visible next to its runtime.
+    analysis: Dict[str, Tuple[Issue, ...]] = field(default_factory=dict)
 
     @property
     def best_kind(self) -> VariantKind:
@@ -48,12 +53,26 @@ class Recommendation:
         """Variants sorted from fastest to slowest predicted runtime."""
         return sorted(self.predicted_runtimes.items(), key=lambda kv: kv[1])
 
+    @property
+    def race_findings(self) -> Dict[str, Tuple[Issue, ...]]:
+        """Data-race findings per variant kind (only kinds with findings)."""
+        races = {
+            kind: tuple(issue for issue in issues if issue.checker == "omp-race")
+            for kind, issues in self.analysis.items()
+        }
+        return {kind: found for kind, found in races.items() if found}
+
 
 class OpenMPAdvisor:
     """Facade orchestrating analysis, transformation and recommendation."""
 
-    def __init__(self, cost_model: Optional[CostModel] = None) -> None:
+    def __init__(self, cost_model: Optional[CostModel] = None,
+                 analyzer: Optional[AnalyzerRunner] = None) -> None:
         self.cost_model = cost_model
+        #: static analyzer applied to every candidate variant during
+        #: :meth:`recommend`; when None, one is built per call with the
+        #: concrete problem sizes folded into its constant environment.
+        self.analyzer = analyzer
 
     # ------------------------------------------------------------------ #
     def analyze(self, kernel: KernelDefinition,
@@ -85,15 +104,21 @@ class OpenMPAdvisor:
         variants = self.generate_variants(kernel, concrete, kinds)
         if not variants:
             raise ValueError(f"no legal variants for kernel {kernel.full_name}")
+        runner = self.analyzer or AnalyzerRunner(env=dict(concrete))
         predictions: Dict[str, float] = {}
+        analysis: Dict[str, Tuple[Issue, ...]] = {}
         best: Optional[KernelVariant] = None
         best_runtime = float("inf")
         for variant in variants:
             runtime = float(self.cost_model(variant, concrete, num_teams, num_threads))
             predictions[variant.kind.value] = runtime
+            report = runner.analyze_source(
+                variant.source, file=f"{kernel.kernel_name}/{variant.name}.c")
+            analysis[variant.kind.value] = report.issues
             if runtime < best_runtime:
                 best_runtime = runtime
                 best = variant
         assert best is not None
         return Recommendation(kernel=kernel, best_variant=best,
-                              predicted_runtimes=predictions)
+                              predicted_runtimes=predictions,
+                              analysis=analysis)

@@ -1,0 +1,62 @@
+"""``repro.analysis`` — pluggable static analysis for C/OpenMP kernels.
+
+The subsystem parses each translation unit once through the
+:mod:`repro.clang` frontend and fans the AST out to independent
+:class:`Checker` plugins held in a string-keyed registry (the same
+mechanism that registers GNN convolutions and benchmark kernels).  Findings
+are :class:`Issue` objects aggregated into a :class:`Report` with both a
+compiler-style text rendering and a versioned JSON schema; see
+``ANALYSIS.md`` for the architecture and ``python -m repro.analysis`` for
+the command-line front end.
+
+Built-in checkers: ``uninit-read``, ``array-bounds``, ``dead-store``,
+``omp-race`` and ``loop-carried-dep``.
+"""
+
+from .base import (
+    AnalysisContext,
+    Checker,
+    checker_registry,
+    default_checker_names,
+    get_checker,
+    make_checkers,
+    register_checker,
+)
+from .dataflow import (
+    Access,
+    AccessKind,
+    FunctionFacts,
+    affine_counter_offset,
+    collect_function_facts,
+    is_array_like,
+    is_local_scalar,
+    names_in,
+    unwrap,
+)
+from .issues import SCHEMA_VERSION, Issue, Report, ReportError, Severity
+from .runner import AnalyzerRunner
+
+__all__ = [
+    "Access",
+    "AccessKind",
+    "AnalysisContext",
+    "AnalyzerRunner",
+    "Checker",
+    "FunctionFacts",
+    "Issue",
+    "Report",
+    "ReportError",
+    "SCHEMA_VERSION",
+    "Severity",
+    "affine_counter_offset",
+    "checker_registry",
+    "collect_function_facts",
+    "default_checker_names",
+    "get_checker",
+    "is_array_like",
+    "is_local_scalar",
+    "make_checkers",
+    "names_in",
+    "register_checker",
+    "unwrap",
+]

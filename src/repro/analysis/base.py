@@ -1,0 +1,112 @@
+"""Checker abstraction and registry.
+
+Checkers plug into the analyzer exactly the way GNN convolutions plug into
+the trainer: a string-keyed :class:`~repro.api.registries.Registry` populated
+lazily by importing the module that carries the ``@register_checker``
+decorators.  The runner parses each translation unit once, computes the
+shared :class:`~repro.analysis.dataflow.FunctionFacts`, and fans the result
+out to every selected checker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Optional, Tuple
+
+from ..api.registries import Registry
+from ..clang.ast_nodes import FunctionDecl, TranslationUnitDecl
+from ..clang.semantics import ConstantEnvironment
+from .dataflow import FunctionFacts
+from .issues import Issue, Severity
+
+__all__ = [
+    "AnalysisContext",
+    "Checker",
+    "checker_registry",
+    "default_checker_names",
+    "get_checker",
+    "register_checker",
+]
+
+
+@dataclass
+class AnalysisContext:
+    """Per-function view handed to each checker by the runner.
+
+    The expensive work — parsing, reference resolution, access linearization
+    — happens once in the runner; checkers only read from here.
+    """
+
+    tu: TranslationUnitDecl
+    function: FunctionDecl
+    facts: FunctionFacts
+    file: str = "<source>"
+    #: constant environment seeded with any ``--sizes`` bindings, used for
+    #: trip-count and array-extent folding.
+    env: ConstantEnvironment = field(default_factory=ConstantEnvironment)
+
+    def issue(self, checker: "Checker", message: str, *,
+              severity: Optional[Severity] = None,
+              location: Tuple[int, int] = (0, 0),
+              variable: str = "", fix_hint: str = "") -> Issue:
+        """Build an :class:`Issue` pre-filled with file/function context."""
+        line, column = location
+        return Issue(
+            checker=checker.name,
+            severity=severity if severity is not None else checker.default_severity,
+            message=message,
+            file=self.file,
+            line=line,
+            column=column,
+            function=self.function.name,
+            variable=variable,
+            fix_hint=fix_hint,
+        )
+
+
+class Checker:
+    """Base class for one analysis.
+
+    Subclasses set :attr:`name` / :attr:`description` and implement
+    :meth:`check`, yielding :class:`Issue` objects for one function at a
+    time.  Checkers must be stateless across functions — the runner reuses
+    one instance per run.
+    """
+
+    name: str = ""
+    description: str = ""
+    default_severity: Severity = Severity.WARNING
+
+    def check(self, ctx: AnalysisContext) -> Iterator[Issue]:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+# --------------------------------------------------------------------- #
+def _populate_checkers(registry: Registry) -> None:
+    # the @register_checker decorators in repro.analysis.checkers run on import
+    from . import checkers  # noqa: F401
+
+
+#: Checker classes keyed by checker name (``uninit-read``, ``omp-race``, …).
+checker_registry = Registry("checker", populate=_populate_checkers)
+register_checker = checker_registry.register
+
+
+def get_checker(name: str) -> Checker:
+    """Instantiate the registered checker class for *name*."""
+    cls = checker_registry.get(name)
+    return cls()  # type: ignore[operator]
+
+
+def default_checker_names() -> List[str]:
+    """All registered checker names, sorted — the runner's default set."""
+    return checker_registry.keys()
+
+
+def make_checkers(names: Optional[Iterable[str]] = None) -> List[Checker]:
+    """Instantiate the selected (or all) checkers, validating names."""
+    selected = list(names) if names is not None else default_checker_names()
+    return [get_checker(name) for name in selected]

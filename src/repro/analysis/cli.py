@@ -1,0 +1,108 @@
+"""Command-line front end: ``python -m repro.analysis [options] files...``
+
+Examples::
+
+    python -m repro.analysis examples/kernels/*.c
+    python -m repro.analysis --json --sizes N=256,M=128 kernel.c
+    python -m repro.analysis --checkers omp-race,uninit-read kernel.c
+    python -m repro.analysis --list-checkers
+
+Exit status: 0 on a completed run, 1 with ``--strict`` when any
+error-severity issue was found, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional, Sequence
+
+from .base import checker_registry, default_checker_names
+from .issues import Severity
+from .runner import AnalyzerRunner
+
+__all__ = ["build_parser", "main"]
+
+
+def _parse_sizes(text: str) -> Dict[str, int]:
+    """Parse ``N=256,M=128`` into a constant-environment mapping."""
+    sizes: Dict[str, int] = {}
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        name, sep, value = part.partition("=")
+        if not sep or not name.strip():
+            raise argparse.ArgumentTypeError(
+                f"expected NAME=INT, got {part!r}")
+        try:
+            sizes[name.strip()] = int(value.strip())
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"size {name.strip()!r} has a non-integer value {value!r}")
+    return sizes
+
+
+def _parse_checkers(text: str) -> List[str]:
+    names = [name.strip() for name in text.split(",") if name.strip()]
+    if not names:
+        raise argparse.ArgumentTypeError("empty checker list")
+    return names
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Static analysis of C/OpenMP kernels: pluggable AST "
+                    "checkers over the repro.clang frontend.",
+    )
+    parser.add_argument("files", nargs="*", metavar="FILE",
+                        help="C source files to analyze")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the JSON report instead of text")
+    parser.add_argument("--checkers", type=_parse_checkers, default=None,
+                        metavar="A,B,...",
+                        help="comma-separated checker names "
+                             "(default: all registered)")
+    parser.add_argument("--sizes", type=_parse_sizes, default=None,
+                        metavar="N=256,M=128",
+                        help="problem-size bindings folded into trip counts "
+                             "and array extents")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit 1 when any error-severity issue is found")
+    parser.add_argument("--list-checkers", action="store_true",
+                        help="list registered checkers and exit")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_checkers:
+        for name in default_checker_names():
+            cls = checker_registry.get(name)
+            description = getattr(cls, "description", "")
+            print(f"{name:20s} {description}")
+        return 0
+
+    if not args.files:
+        parser.error("no input files (or use --list-checkers)")
+
+    try:
+        runner = AnalyzerRunner(checkers=args.checkers, env=args.sizes)
+    except KeyError as error:
+        parser.error(str(error.args[0]) if error.args else str(error))
+
+    report = runner.analyze_paths(args.files)
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.render())
+    if args.strict and not report.ok:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,333 @@
+"""Shared dataflow facts the checkers consume.
+
+The :class:`~repro.analysis.runner.AnalyzerRunner` parses each translation
+unit once and resolves references once; this module then linearizes every
+function body into an ordered sequence of variable :class:`Access`\\ es that
+approximates C evaluation order (assignment right-hand sides before their
+targets, loop init → condition → body → increment), classifying each
+``DeclRefExpr`` as a read, a write, a read-modify-write or an address-taking.
+Array element accesses are collapsed onto the array declaration and carry
+their subscript chain so the bounds / race / dependence checkers can reason
+about index expressions without re-walking the tree.
+
+Everything here is computed once per function and handed to every checker —
+the fan-out architecture the related static-analyzer repos use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..clang.ast_nodes import (
+    ASTNode,
+    ArraySubscriptExpr,
+    BinaryOperator,
+    CStyleCastExpr,
+    CallExpr,
+    CompoundAssignOperator,
+    DeclRefExpr,
+    DeclStmt,
+    DoStmt,
+    ForStmt,
+    FunctionDecl,
+    ImplicitCastExpr,
+    MemberExpr,
+    ParenExpr,
+    ParmVarDecl,
+    UnaryOperator,
+    VarDecl,
+    WhileStmt,
+)
+from ..clang.traversal import preorder
+
+__all__ = [
+    "Access",
+    "AccessKind",
+    "FunctionFacts",
+    "affine_counter_offset",
+    "collect_function_facts",
+    "is_array_like",
+    "is_local_scalar",
+    "names_in",
+    "unwrap",
+]
+
+
+class AccessKind(Enum):
+    """How a ``DeclRefExpr`` uses its declaration."""
+
+    READ = "read"
+    WRITE = "write"
+    READWRITE = "readwrite"      # ++/--, compound assignment targets
+    ADDRESS = "address"          # &x — the variable escapes
+
+    @property
+    def reads(self) -> bool:
+        return self in (AccessKind.READ, AccessKind.READWRITE)
+
+    @property
+    def writes(self) -> bool:
+        return self in (AccessKind.WRITE, AccessKind.READWRITE)
+
+
+@dataclass(frozen=True)
+class Access:
+    """One use of a declared variable inside a function body."""
+
+    ref: DeclRefExpr
+    decl: ASTNode                       # VarDecl / ParmVarDecl / FunctionDecl
+    kind: AccessKind
+    order: int                          # evaluation-order sequence number
+    #: subscript chain for element accesses (dim 0 first); empty for scalars
+    #: and for whole-array references (``foo(A)``).
+    indices: Tuple[ASTNode, ...] = ()
+    #: opcode of the assignment/unary operator driving a write, e.g. "=",
+    #: "+=", "++" — empty for plain reads.
+    opcode: str = ""
+
+    @property
+    def is_element(self) -> bool:
+        return bool(self.indices)
+
+    @property
+    def location(self) -> Tuple[int, int]:
+        return self.ref.location
+
+
+def unwrap(node: Optional[ASTNode]) -> Optional[ASTNode]:
+    """Strip parentheses and (implicit or C-style) casts."""
+    while isinstance(node, (ParenExpr, ImplicitCastExpr, CStyleCastExpr)):
+        node = node.children[0] if node.children else None
+    return node
+
+
+def is_array_like(decl: Optional[ASTNode]) -> bool:
+    """True for declarations of arrays or pointers (element storage)."""
+    if isinstance(decl, VarDecl):
+        return bool(decl.array_dims) or "*" in decl.type_name
+    if isinstance(decl, ParmVarDecl):
+        return "*" in decl.type_name
+    return False
+
+
+def is_local_scalar(decl: Optional[ASTNode], function: FunctionDecl) -> bool:
+    """True for scalar ``VarDecl``\\ s declared inside *function*."""
+    if not isinstance(decl, VarDecl) or is_array_like(decl):
+        return False
+    node: Optional[ASTNode] = decl.parent
+    while node is not None:
+        if node is function:
+            return True
+        node = node.parent
+    return False
+
+
+def names_in(node: Optional[ASTNode]) -> Set[str]:
+    """All identifier spellings referenced inside an expression subtree."""
+    if node is None:
+        return set()
+    return {n.name for n in preorder(node) if isinstance(n, DeclRefExpr)}
+
+
+def affine_counter_offset(
+    expr: Optional[ASTNode],
+    counters: Sequence[str],
+) -> Optional[Tuple[str, int]]:
+    """Recognize indexes of the form ``c``, ``c + k``, ``c - k`` or ``k + c``.
+
+    Returns ``(counter_name, constant_offset)`` when *expr* is an affine
+    shift of one of the given loop counters, ``None`` otherwise.  This is
+    exactly the index shape the loop-carried-dependence heuristic compares.
+    """
+    expr = unwrap(expr)
+    if isinstance(expr, DeclRefExpr):
+        return (expr.name, 0) if expr.name in counters else None
+    if isinstance(expr, BinaryOperator) and expr.opcode in {"+", "-"}:
+        lhs, rhs = unwrap(expr.lhs), unwrap(expr.rhs)
+        from ..clang.semantics import evaluate_constant
+        if isinstance(lhs, DeclRefExpr) and lhs.name in counters:
+            offset = evaluate_constant(rhs)
+            if offset is not None and float(offset).is_integer():
+                k = int(offset)
+                return (lhs.name, k if expr.opcode == "+" else -k)
+        if expr.opcode == "+" and isinstance(rhs, DeclRefExpr) and rhs.name in counters:
+            offset = evaluate_constant(lhs)
+            if offset is not None and float(offset).is_integer():
+                return (rhs.name, int(offset))
+    return None
+
+
+@dataclass
+class FunctionFacts:
+    """Everything the checkers need to know about one function, computed once."""
+
+    function: FunctionDecl
+    accesses: List[Access] = field(default_factory=list)
+    by_decl: Dict[int, List[Access]] = field(default_factory=dict)
+    local_decls: List[VarDecl] = field(default_factory=list)
+    escaped: Set[int] = field(default_factory=set)     # id(decl) of &-taken vars
+
+    def accesses_of(self, decl: ASTNode) -> List[Access]:
+        return self.by_decl.get(id(decl), [])
+
+    def accesses_within(self, root: ASTNode) -> List[Access]:
+        """The accesses whose reference node lies inside *root*'s subtree."""
+        inside = {id(node) for node in root.walk()}
+        return [access for access in self.accesses if id(access.ref) in inside]
+
+
+_COMPOUND_OPS = frozenset({"+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+                           "<<=", ">>="})
+
+
+class _AccessCollector:
+    """Single pass turning a function body into an ordered access sequence."""
+
+    def __init__(self, function: FunctionDecl) -> None:
+        self.function = function
+        self.facts = FunctionFacts(function=function)
+        self._order = 0
+
+    # ------------------------------------------------------------------ #
+    def _record(self, ref: DeclRefExpr, kind: AccessKind,
+                indices: Tuple[ASTNode, ...] = (), opcode: str = "") -> None:
+        decl = ref.referenced_decl
+        if decl is None:
+            return
+        access = Access(ref=ref, decl=decl, kind=kind, order=self._order,
+                        indices=indices, opcode=opcode)
+        self._order += 1
+        self.facts.accesses.append(access)
+        self.facts.by_decl.setdefault(id(decl), []).append(access)
+        if kind is AccessKind.ADDRESS:
+            self.facts.escaped.add(id(decl))
+
+    def _subscript_chain(
+        self, node: ArraySubscriptExpr,
+    ) -> Tuple[Optional[DeclRefExpr], Tuple[ASTNode, ...]]:
+        """Resolve ``A[i][j]`` to the base reference and dim-ordered indexes."""
+        indices: List[ASTNode] = []
+        current: Optional[ASTNode] = node
+        while isinstance(current, ArraySubscriptExpr):
+            indices.append(current.index)
+            current = unwrap(current.base)
+        indices.reverse()
+        if isinstance(current, DeclRefExpr):
+            return current, tuple(indices)
+        return None, tuple(indices)
+
+    # ------------------------------------------------------------------ #
+    def _visit_lvalue(self, node: Optional[ASTNode], kind: AccessKind,
+                      opcode: str) -> None:
+        """Record the write side of an assignment target."""
+        node = unwrap(node)
+        if isinstance(node, DeclRefExpr):
+            self._record(node, kind, opcode=opcode)
+            return
+        if isinstance(node, ArraySubscriptExpr):
+            base, indices = self._subscript_chain(node)
+            for index in indices:           # index expressions are reads
+                self.visit(index)
+            if base is not None:
+                self._record(base, kind, indices=indices, opcode=opcode)
+            return
+        if isinstance(node, UnaryOperator) and node.opcode == "*":
+            # *p = ... writes through the pointer: an element write with an
+            # unknown index
+            target = unwrap(node.operand)
+            if isinstance(target, DeclRefExpr):
+                self._record(target, kind, indices=(node,), opcode=opcode)
+                return
+        # member expressions and anything fancier: fall back to generic reads
+        if node is not None:
+            self.visit(node)
+
+    def visit(self, node: Optional[ASTNode]) -> None:
+        if node is None:
+            return
+        if isinstance(node, BinaryOperator) and node.is_assignment:
+            # C evaluates the value before storing it
+            self.visit(node.rhs)
+            kind = AccessKind.READWRITE if node.opcode in _COMPOUND_OPS \
+                else AccessKind.WRITE
+            self._visit_lvalue(node.lhs, kind, node.opcode)
+            return
+        if isinstance(node, UnaryOperator):
+            if node.opcode in {"++", "--"}:
+                self._visit_lvalue(node.operand, AccessKind.READWRITE, node.opcode)
+                return
+            if node.opcode == "&":
+                target = unwrap(node.operand)
+                while isinstance(target, ArraySubscriptExpr):
+                    self.visit(target.index)
+                    target = unwrap(target.base)
+                if isinstance(target, DeclRefExpr):
+                    self._record(target, AccessKind.ADDRESS, opcode="&")
+                return
+            self.visit(node.operand)
+            return
+        if isinstance(node, ArraySubscriptExpr):
+            base, indices = self._subscript_chain(node)
+            for index in indices:
+                self.visit(index)
+            if base is not None:
+                self._record(base, AccessKind.READ, indices=indices)
+            else:
+                self.visit(unwrap(node.base))
+            return
+        if isinstance(node, DeclRefExpr):
+            self._record(node, AccessKind.READ)
+            return
+        if isinstance(node, CallExpr):
+            # a pointer/array handed to a callee may be written there: treat
+            # it as escaping so the local-only checkers stand down
+            for arg in node.args:
+                plain = unwrap(arg)
+                if isinstance(plain, DeclRefExpr) and is_array_like(plain.referenced_decl):
+                    self._record(plain, AccessKind.ADDRESS, opcode="call")
+                else:
+                    self.visit(arg)
+            return
+        if isinstance(node, VarDecl):
+            for dim in node.array_dims:
+                self.visit(dim)
+            if node.init is not None:
+                self.visit(node.init)
+            return
+        if isinstance(node, (ForStmt, WhileStmt, DoStmt, DeclStmt)):
+            for child in node.children:   # child order matches execution order
+                self.visit(child)
+            return
+        if isinstance(node, MemberExpr):
+            self.visit(node.base)
+            return
+        for child in node.children:
+            self.visit(child)
+
+    # ------------------------------------------------------------------ #
+    def run(self) -> FunctionFacts:
+        body = self.function.body
+        if body is not None:
+            self.visit(body)
+        for node in preorder(self.function):
+            if isinstance(node, VarDecl) and node is not self.function:
+                if is_local_scalar(node, self.function) or is_array_like(node):
+                    if self._declared_inside(node):
+                        self.facts.local_decls.append(node)
+        return self.facts
+
+    def _declared_inside(self, decl: VarDecl) -> bool:
+        node: Optional[ASTNode] = decl.parent
+        while node is not None:
+            if node is self.function:
+                return True
+            node = node.parent
+        return False
+
+
+def collect_function_facts(function: FunctionDecl) -> FunctionFacts:
+    """Linearize *function* into the shared fact base (references must be
+    resolved first — the runner guarantees this)."""
+    return _AccessCollector(function).run()

@@ -16,7 +16,9 @@ from .semantics import (
     ConstantEnvironment,
     SemanticError,
     analyze,
+    counter_range,
     estimate_trip_count,
+    loop_counter_name,
     evaluate_constant,
     insert_implicit_casts,
     resolve_references,

@@ -495,7 +495,8 @@ class Parser:
     def _parse_pragma_statement(self) -> ASTNode:
         token = self._advance()
         try:
-            cls, name, clauses = pragmas.parse_omp_pragma(token.text)
+            cls, name, clauses = pragmas.parse_omp_pragma(
+                token.text, location=self._loc(token))
         except pragmas.PragmaError:
             # Non-OpenMP pragma: skip it and parse the next statement.
             return self.parse_statement()
@@ -536,7 +537,7 @@ class Parser:
         while self._check_punct("["):
             self._advance()
             if self._check_punct("]"):
-                dims.append(IntegerLiteral(0, ""))
+                dims.append(IntegerLiteral(0, "", location=self._loc(self._peek())))
             else:
                 dims.append(self.parse_expression())
             self._expect_punct("]")
@@ -607,14 +608,20 @@ class Parser:
                 decls.append(self._parse_pragma_statement())
                 continue
             decls.append(self._parse_function_or_global())
-        unit = TranslationUnitDecl(decls)
+        first = self.tokens[0] if self.tokens else None
+        root_loc = (first.line, first.column) if first is not None and \
+            first.kind is not TokenKind.EOF else (1, 1)
+        unit = TranslationUnitDecl(decls, location=root_loc)
         return set_parents(unit)
 
     def parse_snippet_body(self) -> CompoundStmt:
         statements: List[ASTNode] = []
         while not self._at_end():
             statements.append(self.parse_statement())
-        body = CompoundStmt(statements)
+        first = self.tokens[0] if self.tokens else None
+        root_loc = (first.line, first.column) if first is not None and \
+            first.kind is not TokenKind.EOF else (1, 1)
+        body = CompoundStmt(statements, location=root_loc)
         return set_parents(body)
 
 

@@ -116,8 +116,14 @@ def _extract_balanced(text: str, start: int) -> Tuple[str, int]:
     raise PragmaError(f"unbalanced parentheses in clause arguments: {text!r}")
 
 
-def parse_clauses(text: str) -> List[OMPClause]:
-    """Parse the clause portion of a pragma line into ``OMPClause`` nodes."""
+def parse_clauses(text: str,
+                  location: Tuple[int, int] = (0, 0)) -> List[OMPClause]:
+    """Parse the clause portion of a pragma line into ``OMPClause`` nodes.
+
+    Clause nodes (and their eagerly-evaluated integer arguments) inherit the
+    *location* of the pragma line so every OpenMP AST node carries a source
+    anchor.
+    """
     clauses: List[OMPClause] = []
     pos = 0
     length = len(text)
@@ -138,12 +144,17 @@ def parse_clauses(text: str) -> List[OMPClause]:
             if name in _INT_CLAUSES:
                 stripped = args_text.strip()
                 if re.fullmatch(r"\d+", stripped):
-                    arg_nodes.append(IntegerLiteral(int(stripped), stripped))
-        clauses.append(OMPClause(name, arg_nodes, args_text.strip()))
+                    arg_nodes.append(IntegerLiteral(int(stripped), stripped,
+                                                    location=location))
+        clauses.append(OMPClause(name, arg_nodes, args_text.strip(),
+                                 location=location))
     return clauses
 
 
-def parse_omp_pragma(text: str) -> Tuple[Type[OMPExecutableDirective], str, List[OMPClause]]:
+def parse_omp_pragma(
+    text: str,
+    location: Tuple[int, int] = (0, 0),
+) -> Tuple[Type[OMPExecutableDirective], str, List[OMPClause]]:
     """Parse a pragma body (text after ``#pragma``).
 
     Returns ``(directive class, directive name, clauses)``.  Raises
@@ -166,7 +177,7 @@ def parse_omp_pragma(text: str) -> Tuple[Type[OMPExecutableDirective], str, List
     # Strip "omp" and the directive words one at a time from the left.
     for word in ["omp"] + list(name.split()):
         clause_text = re.sub(r"^\s*" + re.escape(word) + r"\b", "", clause_text, count=1)
-    clauses = parse_clauses(clause_text.strip())
+    clauses = parse_clauses(clause_text.strip(), location=location)
     return cls, name, clauses
 
 

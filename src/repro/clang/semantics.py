@@ -16,7 +16,7 @@ analysis that ParaGraph actually depends on:
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Union
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple, Union
 
 from .ast_nodes import (
     ASTNode,
@@ -46,7 +46,18 @@ Number = Union[int, float]
 
 
 class SemanticError(Exception):
-    """Raised by strict resolution when a reference cannot be bound."""
+    """Raised by strict resolution when a reference cannot be bound.
+
+    The message carries the ``line:column`` of the offending reference so
+    users (and the :mod:`repro.analysis` checkers) get a source anchor.
+    """
+
+    def __init__(self, message: str, location: tuple = (0, 0)) -> None:
+        line, column = location
+        if line or column:
+            message = f"{message} (at line {line}, column {column})"
+        super().__init__(message)
+        self.location = (line, column)
 
 
 # ---------------------------------------------------------------------- #
@@ -120,7 +131,8 @@ def resolve_references(root: ASTNode, strict: bool = False) -> int:
                 node.referenced_decl = decl
                 resolved += 1
             elif strict:
-                raise SemanticError(f"unresolved reference to {node.name!r}")
+                raise SemanticError(f"unresolved reference to {node.name!r}",
+                                    location=node.location)
             return resolved
         for child in node.children:
             visit(child, scope)
@@ -221,8 +233,11 @@ _FOLDABLE_BINOPS = {
     "+": lambda a, b: a + b,
     "-": lambda a, b: a - b,
     "*": lambda a, b: a * b,
-    "/": lambda a, b: a / b if isinstance(a, float) or isinstance(b, float) else (a // b if b else 0),
-    "%": lambda a, b: a % b if b else 0,
+    # ``//`` / ``%`` raise ZeroDivisionError on a zero denominator, which
+    # evaluate_constant turns into "not statically evaluable" (None) — a
+    # folded ``x / 0`` must never pretend to be 0.
+    "/": lambda a, b: a / b if isinstance(a, float) or isinstance(b, float) else a // b,
+    "%": lambda a, b: a % b,
     "<<": lambda a, b: int(a) << int(b),
     ">>": lambda a, b: int(a) >> int(b),
     "<": lambda a, b: int(a < b),
@@ -415,6 +430,43 @@ def estimate_trip_count(
         return 0
     trips = int((span + step - 1) // step)
     return max(trips, 0)
+
+
+def counter_range(
+    loop: ForStmt,
+    env: Optional[ConstantEnvironment] = None,
+) -> Optional[Tuple[int, int]]:
+    """Statically bound the induction variable of a canonical ``for`` loop.
+
+    Returns ``(minimum, maximum)`` — the inclusive range of values the
+    counter takes *inside the loop body* — or ``None`` when the loop is not
+    in canonical form or its bounds are not statically known.  The array
+    bounds checker uses this to compare a subscript's reachable values
+    against the declared array extent.
+    """
+    env = env or ConstantEnvironment()
+    counter = loop_counter_name(loop)
+    if counter is None:
+        return None
+    start = _initial_value(loop, env)
+    bound, op = _bound_and_op(loop, counter, env)
+    step = _step(loop, counter, env)
+    if start is None or bound is None or step is None or op is None or step == 0:
+        return None
+    if op in {"<", "<="} and step > 0:
+        last = bound if op == "<=" else bound - 1
+        if last < start:
+            return None                 # zero-trip loop: body never runs
+        # the counter only hits start + k*step; clamp last onto the lattice
+        last = start + ((last - start) // step) * step
+        return (int(start), int(last))
+    if op in {">", ">="} and step < 0:
+        last = bound if op == ">=" else bound + 1
+        if last > start:
+            return None
+        last = start + ((start - last) // (-step)) * step
+        return (int(last), int(start))
+    return None
 
 
 def analyze(root: ASTNode, env: Optional[ConstantEnvironment] = None) -> ASTNode:

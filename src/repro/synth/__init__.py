@@ -37,16 +37,21 @@ from .harness import (
     structural_dump,
 )
 from .source_gen import (
+    DefectKernel,
     GeneratedKernel,
+    PlantedDefect,
     SourceGenConfig,
     SourceGenerator,
+    generate_defect_kernel,
     generate_kernel,
 )
 
 __all__ = [
     "CorpusSpec",
     "DEFAULT_TOTAL_CASES",
+    "DefectKernel",
     "GeneratedKernel",
+    "PlantedDefect",
     "GraphGenConfig",
     "HarnessReport",
     "SCENARIOS",
@@ -58,6 +63,7 @@ __all__ = [
     "canonical_render",
     "cases_for",
     "corpus_total_cases",
+    "generate_defect_kernel",
     "generate_kernel",
     "random_batch",
     "random_encoded_graph",

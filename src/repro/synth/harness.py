@@ -62,7 +62,7 @@ from ..paragraph.encoders import GraphEncoder
 from ..paragraph.variants import GraphVariant
 from ..paragraph.vocab import UNK_TOKEN, default_vocabulary
 from .graph_gen import GraphGenConfig, random_batch, random_encoded_graph, random_paragraph
-from .source_gen import generate_kernel
+from .source_gen import generate_defect_kernel, generate_kernel
 
 __all__ = [
     "CASES_ENV",
@@ -156,10 +156,13 @@ def check_parser_roundtrip(seed: int) -> None:
         "layout-normalized source parsed to a different tree"
     # byte-stable: same text, same dump (locations included)
     assert dump(parse_source(kernel.source)) == dump(ast_original)
-    # set_parents left a consistent tree behind
+    # set_parents left a consistent tree behind, and every node carries a
+    # real source anchor (the analysis checkers report locations from them)
     for node in preorder(ast_original):
         for child in node.children:
             assert child.parent is node, "stale parent back-pointer"
+        assert node.location != (0, 0), \
+            f"{node.kind} node lost its source location"
 
 
 def check_paragraph_invariants(seed: int) -> None:
@@ -532,6 +535,38 @@ def check_store_roundtrip(seed: int) -> None:
         shutil.rmtree(scratch, ignore_errors=True)
 
 
+def check_analysis_planted_defects(seed: int) -> None:
+    """Score the static-analysis checkers against planted ground truth.
+
+    The clean control kernel must produce an empty report (zero false
+    positives); the defected twin must produce exactly the planted issues
+    (recall 1.0 per checker class, matched on checker + variable + line),
+    and the report must round-trip through the JSON schema.
+    """
+    from ..analysis import AnalyzerRunner, Report
+
+    runner = AnalyzerRunner()
+    clean = generate_defect_kernel(seed, clean=True)
+    clean_report = runner.analyze_source(clean.source, file=clean.name)
+    assert not clean_report.issues, \
+        f"false positives on the clean control: " \
+        f"{[issue.render() for issue in clean_report.issues]}"
+
+    kernel = generate_defect_kernel(seed)
+    report = runner.analyze_source(kernel.source, file=kernel.name)
+    planted = {(d.checker, d.variable, d.line) for d in kernel.defects}
+    found = {(i.checker, i.variable, i.line) for i in report.issues}
+    assert planted <= found, f"missed planted defects: {planted - found}"
+    assert found <= planted, f"unplanted findings: {found - planted}"
+    # one planted defect per checker class, every class exercised
+    assert {d.checker for d in kernel.defects} == {
+        "uninit-read", "dead-store", "array-bounds", "omp-race",
+        "loop-carried-dep"}
+
+    rebuilt = Report.from_json(report.to_json())
+    assert rebuilt == report, "JSON round trip changed the report"
+
+
 def check_config_roundtrip(seed: int) -> None:
     from ..api.config import DataConfig, GraphConfig, ModelConfig, READOUTS, ReproConfig
     from ..ml.trainer import TrainingConfig
@@ -604,6 +639,8 @@ _register("pooling-paths", check_pooling_paths, 16, "gnn")
 _register("config-roundtrip", check_config_roundtrip, 16, "api")
 _register("store-roundtrip", check_store_roundtrip, 6, "store")
 _register("serving-context-isolation", check_context_isolation, 6, "serve")
+_register("analysis-planted-defects", check_analysis_planted_defects, 20,
+          "analysis")
 
 #: sum of the per-scenario defaults — the tier-1 corpus size.
 DEFAULT_TOTAL_CASES = sum(spec.default_cases for spec in SCENARIOS.values())

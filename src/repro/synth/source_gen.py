@@ -21,7 +21,15 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
-__all__ = ["GeneratedKernel", "SourceGenConfig", "SourceGenerator", "generate_kernel"]
+__all__ = [
+    "DefectKernel",
+    "GeneratedKernel",
+    "PlantedDefect",
+    "SourceGenConfig",
+    "SourceGenerator",
+    "generate_defect_kernel",
+    "generate_kernel",
+]
 
 
 @dataclass(frozen=True)
@@ -66,6 +74,10 @@ class GeneratedKernel:
     num_loops: int = 0
     num_pragmas: int = 0
     max_depth: int = 0
+    #: every local declaration the generator emitted, in emission order, as
+    #: ``(name, written_before_read)`` — ground truth for the uninitialized-
+    #: read analysis (the fuzz generator initializes everything it declares).
+    var_decls: Tuple[Tuple[str, bool], ...] = ()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return (f"GeneratedKernel(seed={self.seed}, name={self.name!r}, "
@@ -110,6 +122,8 @@ class SourceGenerator:
         self.num_loops = 0
         self.num_pragmas = 0
         self.max_depth = 0
+        #: (name, written-before-read) per emitted local declaration.
+        self.var_decls: List[Tuple[str, bool]] = []
 
     # ------------------------------------------------------------------ #
     # small helpers
@@ -209,6 +223,7 @@ class SourceGenerator:
             return f"{counter}{self._pick(['++', '--'])};"
         if roll < 0.9 and scope.doubles:
             name = f"t{int(self.rng.integers(0, 100))}"
+            self.var_decls.append((name, True))
             return f"double {name} = {self._value_expr(scope, 1)};"
         return self._assignment(scope)
 
@@ -226,6 +241,7 @@ class SourceGenerator:
         counter = f"w{self._loop_counter}"
         self._loop_counter += 1
         bound = int(self.rng.integers(2, 12))
+        self.var_decls.append((counter, True))
         lines = [f"{indent}int {counter} = 0;"]
         inner = _Scope(scope.ints + [counter], scope.doubles, scope.arrays)
         if self._chance(0.5):
@@ -294,6 +310,7 @@ class SourceGenerator:
         for level in range(nest_depth):
             counter = f"i{self._loop_counter}"
             self._loop_counter += 1
+            self.var_decls.append((counter, True))
             bound = self._pick(["n", "m", str(int(self.rng.integers(4, 65)))])
             step = self._pick(["++", "++", "++", " += 2"])
             header_indent = indent + "  " * level
@@ -346,6 +363,7 @@ class SourceGenerator:
             scalar = f"s{index}"
             scope.doubles.append(scalar)
             init = f"{self.rng.integers(0, 9)}.{self.rng.integers(0, 10)}"
+            self.var_decls.append((scalar, True))
             body.append(f"  double {scalar} = {init};")
         body += self._block(scope, depth=0, indent="  ")
         if scope.doubles and self._chance(0.6):
@@ -363,6 +381,7 @@ class SourceGenerator:
             num_loops=self.num_loops,
             num_pragmas=self.num_pragmas,
             max_depth=self.max_depth,
+            var_decls=tuple(self.var_decls),
         )
 
     def _scramble_layout(self, source: str) -> str:
@@ -392,3 +411,190 @@ class SourceGenerator:
 def generate_kernel(seed: int, config: Optional[SourceGenConfig] = None) -> GeneratedKernel:
     """Generate one synthetic kernel from *seed* (deterministic)."""
     return SourceGenerator(seed, config).generate()
+
+
+# --------------------------------------------------------------------- #
+# planted-defect kernels (ground truth for the repro.analysis checkers)
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class PlantedDefect:
+    """Ground truth for one injected defect: which checker must fire where."""
+
+    checker: str        # registered checker name expected to report
+    variable: str       # the variable/array the finding must name
+    line: int           # 1-based source line the issue must anchor to
+    detail: str = ""    # free-text note on the injected shape
+
+
+@dataclass(frozen=True)
+class DefectKernel:
+    """A kernel with (or, for the control, without) injected defects."""
+
+    seed: int
+    name: str
+    source: str
+    clean: bool
+    defects: Tuple[PlantedDefect, ...] = ()
+    var_decls: Tuple[Tuple[str, bool], ...] = ()
+
+
+class _DefectEmitter:
+    """Builds the defect kernel line by line, recording issue lines.
+
+    Unlike :class:`SourceGenerator` this skeleton is clean by construction:
+    every variable is initialized, read, and indexed in bounds — so the
+    ``clean=True`` control must produce an empty report, and with
+    ``clean=False`` exactly the five injected lines may be reported.  Both
+    variants draw the same random choices, so the clean control is the same
+    kernel shape with the defects repaired.
+    """
+
+    def __init__(self, seed: int, clean: bool) -> None:
+        self.seed = int(seed)
+        self.clean = clean
+        self.rng = np.random.default_rng([int(seed), 0xDEFEC7])
+        self.lines: List[str] = []
+        self.defects: List[PlantedDefect] = []
+        self.var_decls: List[Tuple[str, bool]] = []
+
+    # ------------------------------------------------------------------ #
+    def emit(self, text: str) -> None:
+        self.lines.append(text)
+
+    def plant(self, checker: str, variable: str, detail: str = "") -> None:
+        """Record that *checker* must report *variable* on the NEXT line."""
+        self.defects.append(PlantedDefect(checker, variable,
+                                          len(self.lines) + 1, detail))
+
+    def _suffix(self) -> int:
+        return int(self.rng.integers(0, 100))
+
+    # ------------------------------------------------------------------ #
+    def _uninit_block(self) -> None:
+        u = f"u{self._suffix()}"
+        factor = f"{int(self.rng.integers(2, 9))}.5"
+        if self.clean:
+            self.emit(f"  double {u} = {factor};")
+            self.var_decls.append((u, True))
+        else:
+            self.emit(f"  double {u};")
+            self.var_decls.append((u, False))
+        if not self.clean:
+            self.plant("uninit-read", u, "read of never-written scalar")
+        self.emit(f"  out[0] = {u} * 2.0;")
+
+    def _dead_store_block(self) -> None:
+        d = f"d{self._suffix()}"
+        c1 = int(self.rng.integers(1, 9))
+        c2 = int(self.rng.integers(1, 9))
+        unused_variant = bool(self.rng.random() < 0.5)
+        if self.clean:
+            self.emit(f"  double {d} = {c1}.0;")
+            self.var_decls.append((d, True))
+            self.emit(f"  out[1] = {d} + {c2}.0;")
+        elif unused_variant:
+            self.plant("dead-store", d, "declared but never used")
+            self.emit(f"  double {d};")
+            self.var_decls.append((d, False))
+        else:
+            self.emit(f"  double {d} = 0.0;")
+            self.var_decls.append((d, True))
+            self.emit(f"  {d} = {c1}.0;")
+            self.plant("dead-store", d, "stores never read")
+            self.emit(f"  {d} = {c2}.0;")
+
+    def _bounds_block(self) -> None:
+        buf = f"b{self._suffix()}"
+        extent = int(self.rng.integers(4, 12))
+        counter = f"bi{self._suffix()}"
+        constant_variant = bool(self.rng.random() < 0.5)
+        self.emit(f"  double {buf}[{extent}];")
+        self.var_decls.append((buf, True))
+        if constant_variant:
+            self.emit(f"  for (int {counter} = 0; {counter} < {extent}; "
+                      f"{counter}++) {{")
+            self.emit(f"    {buf}[{counter}] = in[{counter}] + 1.0;")
+            self.emit("  }")
+            if self.clean:
+                self.emit(f"  {buf}[{extent - 1}] = in[0];")
+            else:
+                self.plant("array-bounds", buf, "constant index past extent")
+                self.emit(f"  {buf}[{extent + int(self.rng.integers(0, 3))}]"
+                          f" = in[0];")
+        else:
+            bound_op = "<" if self.clean else "<="
+            self.emit(f"  for (int {counter} = 0; {counter} {bound_op} "
+                      f"{extent}; {counter}++) {{")
+            if not self.clean:
+                self.plant("array-bounds", buf, "off-by-one loop bound")
+            self.emit(f"    {buf}[{counter}] = in[{counter}] + 1.0;")
+            self.emit("  }")
+        self.emit(f"  out[2] = {buf}[0] + {buf}[{extent - 1}];")
+
+    def _race_block(self) -> None:
+        acc = f"r{self._suffix()}"
+        counter = f"ri{self._suffix()}"
+        scalar_variant = bool(self.rng.random() < 0.5)
+        self.emit(f"  double {acc} = 0.0;")
+        self.var_decls.append((acc, True))
+        if scalar_variant:
+            clause = f" reduction(+:{acc})" if self.clean else ""
+            self.emit(f"  #pragma omp parallel for{clause}")
+            self.emit(f"  for (int {counter} = 0; {counter} < n; "
+                      f"{counter}++) {{")
+            if not self.clean:
+                self.plant("omp-race", acc, "shared accumulator update")
+            self.emit(f"    {acc} += in[{counter}];")
+            self.emit("  }")
+        else:
+            self.emit("  #pragma omp parallel for")
+            self.emit(f"  for (int {counter} = 0; {counter} < n; "
+                      f"{counter}++) {{")
+            if self.clean:
+                self.emit(f"    out[{counter}] = in[{counter}] + {acc};")
+            else:
+                self.plant("omp-race", "out",
+                           "element write independent of the loop counter")
+                self.emit(f"    out[0] = out[0] + in[{counter}];")
+            self.emit("  }")
+        self.emit(f"  out[3] = {acc};")
+
+    def _dep_block(self) -> None:
+        counter = f"di{self._suffix()}"
+        self.emit(f"  for (int {counter} = 1; {counter} < n; {counter}++) {{")
+        if self.clean:
+            self.emit(f"    out[{counter}] = in[{counter} - 1] + "
+                      f"in[{counter}];")
+        else:
+            self.plant("loop-carried-dep", "out", "first-order recurrence")
+            self.emit(f"    out[{counter}] = out[{counter} - 1] + "
+                      f"in[{counter}];")
+        self.emit("  }")
+
+    # ------------------------------------------------------------------ #
+    def generate(self) -> DefectKernel:
+        name = f"defect_kernel_{self.seed}"
+        self.emit(f"void {name}(int n, double *out, double *in) {{")
+        blocks = [self._uninit_block, self._dead_store_block,
+                  self._bounds_block, self._race_block, self._dep_block]
+        for index in self.rng.permutation(len(blocks)):
+            blocks[int(index)]()
+        self.emit("}")
+        return DefectKernel(
+            seed=self.seed,
+            name=name,
+            source="\n".join(self.lines) + "\n",
+            clean=self.clean,
+            defects=tuple(self.defects),
+            var_decls=tuple(self.var_decls),
+        )
+
+
+def generate_defect_kernel(seed: int, clean: bool = False) -> DefectKernel:
+    """Generate a kernel with one planted defect per checker class.
+
+    With ``clean=True`` the same kernel shape is emitted with every defect
+    repaired — the zero-false-positive control of the planted-defect
+    scenario.
+    """
+    return _DefectEmitter(seed, clean).generate()

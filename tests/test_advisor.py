@@ -21,7 +21,7 @@ from repro.advisor import (
 from repro.clang import parse_source
 from repro.clang.traversal import iter_omp_directives
 from repro.hardware import V100, analytical_cost_model
-from repro.kernels import all_kernels, get_kernel
+from repro.kernels import ArraySpec, KernelDefinition, all_kernels, get_kernel
 
 
 class TestKernelAnalysis:
@@ -219,3 +219,57 @@ class TestAdvisorFacade:
         advisor = OpenMPAdvisor()
         analysis = advisor.analyze(get_kernel("matvec"))
         assert analysis.kernel_name == "MV/matvec"
+
+
+class TestAdvisorStaticAnalysis:
+    RACY_KERNEL = KernelDefinition(
+        application="Synthetic", kernel_name="histogram_bin0",
+        domain="synthetic",
+        source=(
+            "void histogram_bin0(int n, double *bins, double *data) {\n"
+            "  for (int i = 0; i < n; i++) {\n"
+            "    bins[0] = bins[0] + data[i];\n"
+            "  }\n"
+            "}\n"),
+        size_parameters=("n",),
+        arrays=(ArraySpec("bins", 8, "n"), ArraySpec("data", 8, "n", "to")),
+        default_sizes={"n": 1024},
+    )
+
+    GPU_KINDS = [k for k in ALL_VARIANTS if k.is_gpu]
+
+    def test_recommend_surfaces_race_findings(self):
+        advisor = OpenMPAdvisor(analytical_cost_model(V100))
+        recommendation = advisor.recommend(self.RACY_KERNEL,
+                                           kinds=self.GPU_KINDS)
+        races = recommendation.race_findings
+        assert races, "the planted race must be reported"
+        for kind, issues in races.items():
+            assert kind in recommendation.predicted_runtimes
+            assert all(issue.checker == "omp-race" for issue in issues)
+            assert {issue.variable for issue in issues} == {"bins"}
+
+    def test_recommend_attaches_analysis_per_variant(self):
+        advisor = OpenMPAdvisor(analytical_cost_model(V100))
+        recommendation = advisor.recommend(self.RACY_KERNEL,
+                                           kinds=self.GPU_KINDS)
+        assert set(recommendation.analysis) == \
+            set(recommendation.predicted_runtimes)
+
+    def test_clean_kernel_has_no_race_findings(self):
+        advisor = OpenMPAdvisor(analytical_cost_model(V100))
+        recommendation = advisor.recommend(
+            get_kernel("matmul"), {"N": 64, "M": 64, "K": 64},
+            kinds=self.GPU_KINDS)
+        assert recommendation.race_findings == {}
+        assert all(not issues for issues in recommendation.analysis.values())
+
+    def test_custom_analyzer_is_honored(self):
+        from repro.analysis import AnalyzerRunner
+
+        advisor = OpenMPAdvisor(
+            analytical_cost_model(V100),
+            analyzer=AnalyzerRunner(checkers=["dead-store"]))
+        recommendation = advisor.recommend(self.RACY_KERNEL,
+                                           kinds=self.GPU_KINDS)
+        assert recommendation.race_findings == {}

@@ -1,0 +1,484 @@
+"""Unit tests for ``repro.analysis``: issue model, registry, checkers, runner,
+CLI, and the zero-false-positive contract on the seed benchmark kernels."""
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    AnalyzerRunner,
+    Issue,
+    Report,
+    ReportError,
+    SCHEMA_VERSION,
+    Severity,
+    checker_registry,
+    default_checker_names,
+    get_checker,
+)
+from repro.analysis.cli import main as cli_main
+
+
+def analyze(source, checkers=None, env=None):
+    return AnalyzerRunner(checkers=checkers, env=env).analyze_source(source)
+
+
+# --------------------------------------------------------------------- #
+class TestIssueModel:
+    def test_render_is_compiler_style(self):
+        issue = Issue(checker="omp-race", severity=Severity.ERROR,
+                      message="bad", file="k.c", line=3, column=7,
+                      fix_hint="use atomic")
+        assert issue.render() == \
+            "k.c:3:7: error: [omp-race] bad (hint: use atomic)"
+
+    def test_severity_ordering(self):
+        assert Severity.ERROR > Severity.WARNING > Severity.INFO
+        assert max([Severity.INFO, Severity.ERROR]) is Severity.ERROR
+
+    def test_issue_round_trip(self):
+        issue = Issue(checker="dead-store", severity=Severity.WARNING,
+                      message="m", variable="x", function="f")
+        assert Issue.from_dict(issue.to_dict()) == issue
+
+    def test_issue_rejects_bad_severity(self):
+        with pytest.raises(ReportError, match="severity"):
+            Issue.from_dict({"checker": "c", "message": "m",
+                             "severity": "catastrophic"})
+
+    def test_report_round_trip_and_schema(self):
+        report = analyze("void f(void) { double x; double y = x; y = y; }")
+        payload = report.to_dict()
+        assert payload["schema_version"] == SCHEMA_VERSION
+        assert payload["generator"] == "repro.analysis"
+        assert payload["summary"]["total"] == len(report.issues)
+        assert Report.from_json(report.to_json()) == report
+
+    def test_report_rejects_wrong_version(self):
+        payload = Report().to_dict()
+        payload["schema_version"] = 99
+        with pytest.raises(ReportError, match="schema_version"):
+            Report.from_dict(payload)
+
+    def test_report_merge_preserves_order_and_files(self):
+        first = analyze("void f(void) { double x; double y = x + 1.0; }")
+        second = Report(files=("other.c",), checkers=first.checkers)
+        merged = first.merged(second)
+        assert set(merged.files) == set(first.files) | {"other.c"}
+        assert merged.count() == first.count()
+
+
+# --------------------------------------------------------------------- #
+class TestRegistry:
+    def test_all_builtins_registered(self):
+        assert set(default_checker_names()) == {
+            "uninit-read", "array-bounds", "dead-store", "omp-race",
+            "loop-carried-dep"}
+
+    def test_get_checker_instantiates(self):
+        checker = get_checker("omp-race")
+        assert checker.name == "omp-race"
+        assert checker.default_severity is Severity.ERROR
+
+    def test_unknown_checker_raises(self):
+        with pytest.raises(KeyError, match="unknown checker"):
+            AnalyzerRunner(checkers=["no-such-checker"])
+
+    def test_custom_checker_plugs_in(self):
+        from repro.analysis import Checker, register_checker
+
+        @register_checker("always-warn")
+        class AlwaysWarn(Checker):
+            name = "always-warn"
+
+            def check(self, ctx):
+                yield ctx.issue(self, "hello")
+
+        try:
+            report = analyze("void f(void) { ; }", checkers=["always-warn"])
+            assert [i.checker for i in report.issues] == ["always-warn"]
+        finally:
+            checker_registry.unregister("always-warn")
+
+
+# --------------------------------------------------------------------- #
+class TestUninitRead:
+    def test_flags_read_before_write(self):
+        report = analyze(
+            "void f(double *o) { double s; o[0] = s * 2.0; }",
+            checkers=["uninit-read"])
+        assert [i.variable for i in report.issues] == ["s"]
+        assert report.issues[0].severity is Severity.ERROR
+
+    def test_self_referential_init_is_flagged(self):
+        # C evaluates the right-hand side first, so `x = x + 1` reads
+        # uninitialized x
+        report = analyze("void f(void) { double x; x = x + 1.0; }",
+                         checkers=["uninit-read"])
+        assert [i.variable for i in report.issues] == ["x"]
+
+    def test_initializer_silences(self):
+        report = analyze(
+            "void f(double *o) { double s = 1.0; o[0] = s; }",
+            checkers=["uninit-read"])
+        assert not report.issues
+
+    def test_write_before_read_silences(self):
+        report = analyze(
+            "void f(double *o) { double s; s = 2.0; o[0] = s; }",
+            checkers=["uninit-read"])
+        assert not report.issues
+
+    def test_address_taken_silences(self):
+        report = analyze(
+            "void init(double *p);\n"
+            "void f(double *o) { double s; init(&s); o[0] = s; }",
+            checkers=["uninit-read"])
+        assert not report.issues
+
+
+class TestArrayBounds:
+    def test_constant_index_past_extent(self):
+        report = analyze(
+            "void f(double v) { double b[4]; b[0] = v; b[4] = v; v = b[0]; }",
+            checkers=["array-bounds"])
+        assert len(report.issues) == 1
+        assert report.issues[0].variable == "b"
+
+    def test_counter_range_overflow(self):
+        report = analyze(
+            "void f(double *in) {\n"
+            "  double b[8];\n"
+            "  double t = 0.0;\n"
+            "  for (int i = 0; i <= 8; i++) { b[i] = in[i]; }\n"
+            "  t = b[0];\n"
+            "}", checkers=["array-bounds"])
+        assert [i.variable for i in report.issues] == ["b"]
+        assert "extent is 8" in report.issues[0].message
+
+    def test_negative_offset(self):
+        report = analyze(
+            "void f(double v) {\n"
+            "  double b[8];\n"
+            "  for (int i = 0; i < 8; i++) { b[i] = v; }\n"
+            "  for (int j = 0; j < 4; j++) { v = b[j - 1]; }\n"
+            "}", checkers=["array-bounds"])
+        assert len(report.issues) == 1
+        assert "below zero" in report.issues[0].message
+
+    def test_in_bounds_loop_is_silent(self):
+        report = analyze(
+            "void f(double v) {\n"
+            "  double b[8];\n"
+            "  for (int i = 0; i < 8; i++) { b[i] = v; }\n"
+            "  v = b[7];\n"
+            "}", checkers=["array-bounds"])
+        assert not report.issues
+
+    def test_pointer_params_have_no_extent(self):
+        report = analyze(
+            "void f(int n, double *a) {\n"
+            "  for (int i = 0; i <= n; i++) { a[i] = 0.0; }\n"
+            "}", checkers=["array-bounds"])
+        assert not report.issues
+
+    def test_sizes_env_folds_symbolic_extents(self):
+        source = (
+            "void f(int n, double v) {\n"
+            "  double b[n];\n"
+            "  for (int i = 0; i < 10; i++) { b[i] = v; }\n"
+            "  v = b[0];\n"
+            "}")
+        assert not analyze(source, checkers=["array-bounds"]).issues
+        report = analyze(source, checkers=["array-bounds"], env={"n": 8})
+        assert len(report.issues) == 1
+
+    def test_reassigned_scalar_index_not_folded(self):
+        # constant folding sees `k = 0`, but k is later reassigned: the
+        # checker must not trust the initializer
+        report = analyze(
+            "void f(double v) {\n"
+            "  double b[4];\n"
+            "  int k = 0;\n"
+            "  k = 3;\n"
+            "  b[k] = v;\n"
+            "  v = b[k];\n"
+            "}", checkers=["array-bounds"])
+        assert not report.issues
+
+
+class TestDeadStore:
+    def test_unused_variable(self):
+        report = analyze("void f(void) { double x; }",
+                         checkers=["dead-store"])
+        assert [i.variable for i in report.issues] == ["x"]
+        assert "never used" in report.issues[0].message
+
+    def test_stores_never_read(self):
+        report = analyze(
+            "void f(void) { double x = 0.0; x = 1.0; x = 2.0; }",
+            checkers=["dead-store"])
+        assert [i.variable for i in report.issues] == ["x"]
+        assert "never read" in report.issues[0].message
+
+    def test_compound_assignment_counts_as_read(self):
+        report = analyze(
+            "void f(double *a, int n) {\n"
+            "  double s = 0.0;\n"
+            "  for (int i = 0; i < n; i++) { s += a[i]; }\n"
+            "}", checkers=["dead-store"])
+        assert not report.issues
+
+    def test_read_silences(self):
+        report = analyze(
+            "void f(double *o) { double x = 1.0; x = 2.0; o[0] = x; }",
+            checkers=["dead-store"])
+        assert not report.issues
+
+    def test_escaped_variable_silences(self):
+        report = analyze(
+            "void g(double *p);\n"
+            "void f(void) { double x; g(&x); }",
+            checkers=["dead-store"])
+        assert not report.issues
+
+
+class TestOMPRace:
+    RACY_SCALAR = (
+        "void f(int n, double *a) {\n"
+        "  double s = 0.0;\n"
+        "  #pragma omp parallel for\n"
+        "  for (int i = 0; i < n; i++) { s += a[i]; }\n"
+        "  a[0] = s;\n"
+        "}")
+
+    def test_shared_scalar_update_flagged_with_reduction_hint(self):
+        report = analyze(self.RACY_SCALAR, checkers=["omp-race"])
+        assert [i.variable for i in report.issues] == ["s"]
+        assert "reduction" in report.issues[0].fix_hint
+
+    def test_reduction_clause_silences(self):
+        source = self.RACY_SCALAR.replace(
+            "parallel for", "parallel for reduction(+:s)")
+        assert not analyze(source, checkers=["omp-race"]).issues
+
+    def test_private_clause_silences(self):
+        source = (
+            "void f(int n, double *a) {\n"
+            "  double t = 0.0;\n"
+            "  #pragma omp parallel for private(t)\n"
+            "  for (int i = 0; i < n; i++) { t = a[i]; a[i] = t * 2.0; }\n"
+            "}")
+        assert not analyze(source, checkers=["omp-race"]).issues
+
+    def test_counter_indexed_write_is_safe(self):
+        source = (
+            "void f(int n, double *a) {\n"
+            "  #pragma omp parallel for\n"
+            "  for (int i = 0; i < n; i++) { a[i] = 2.0 * a[i]; }\n"
+            "}")
+        assert not analyze(source, checkers=["omp-race"]).issues
+
+    def test_counter_independent_element_write_flagged(self):
+        source = (
+            "void f(int n, double *a, double *b) {\n"
+            "  #pragma omp parallel for\n"
+            "  for (int i = 0; i < n; i++) { a[0] = a[0] + b[i]; }\n"
+            "}")
+        report = analyze(source, checkers=["omp-race"])
+        assert [i.variable for i in report.issues] == ["a"]
+
+    def test_inner_serial_counter_write_flagged(self):
+        # a[j] in a parallel-i loop: every thread sweeps the same elements
+        source = (
+            "void f(int n, double *a) {\n"
+            "  #pragma omp parallel for\n"
+            "  for (int i = 0; i < n; i++) {\n"
+            "    for (int j = 0; j < 4; j++) { a[j] = a[j] + 1.0; }\n"
+            "  }\n"
+            "}")
+        report = analyze(source, checkers=["omp-race"])
+        assert [i.variable for i in report.issues] == ["a"]
+
+    def test_collapse_covers_inner_counter(self):
+        source = (
+            "void f(int n, int m, double *a) {\n"
+            "  #pragma omp parallel for collapse(2)\n"
+            "  for (int i = 0; i < n; i++)\n"
+            "    for (int j = 0; j < m; j++)\n"
+            "      a[i * m + j] = 1.0;\n"
+            "}")
+        assert not analyze(source, checkers=["omp-race"]).issues
+
+    def test_atomic_silences(self):
+        source = (
+            "void f(int n, double *a, double *b) {\n"
+            "  #pragma omp parallel for\n"
+            "  for (int i = 0; i < n; i++) {\n"
+            "    #pragma omp atomic\n"
+            "    a[0] = a[0] + b[i];\n"
+            "  }\n"
+            "}")
+        assert not analyze(source, checkers=["omp-race"]).issues
+
+    def test_simd_is_not_threaded(self):
+        source = (
+            "void f(int n, double *a) {\n"
+            "  double s = 0.0;\n"
+            "  #pragma omp simd\n"
+            "  for (int i = 0; i < n; i++) { s += a[i]; }\n"
+            "  a[0] = s;\n"
+            "}")
+        assert not analyze(source, checkers=["omp-race"]).issues
+
+    def test_loop_local_scalar_is_private(self):
+        source = (
+            "void f(int n, double *a) {\n"
+            "  #pragma omp parallel for\n"
+            "  for (int i = 0; i < n; i++) {\n"
+            "    double t = a[i] * 2.0;\n"
+            "    a[i] = t;\n"
+            "  }\n"
+            "}")
+        assert not analyze(source, checkers=["omp-race"]).issues
+
+
+class TestLoopCarriedDep:
+    def test_recurrence_flagged_info_when_serial(self):
+        source = (
+            "void f(int n, double *a) {\n"
+            "  for (int i = 1; i < n; i++) { a[i] = a[i - 1] + 1.0; }\n"
+            "}")
+        report = analyze(source, checkers=["loop-carried-dep"])
+        assert len(report.issues) == 1
+        assert report.issues[0].severity is Severity.INFO
+
+    def test_recurrence_warns_when_parallelized(self):
+        source = (
+            "void f(int n, double *a) {\n"
+            "  #pragma omp parallel for\n"
+            "  for (int i = 1; i < n; i++) { a[i] = a[i - 1] + 1.0; }\n"
+            "}")
+        report = analyze(source, checkers=["loop-carried-dep"])
+        assert len(report.issues) == 1
+        assert report.issues[0].severity is Severity.WARNING
+
+    def test_same_offset_is_independent(self):
+        source = (
+            "void f(int n, double *a, double *b) {\n"
+            "  for (int i = 0; i < n; i++) { a[i] = a[i] + b[i]; }\n"
+            "}")
+        assert not analyze(source, checkers=["loop-carried-dep"]).issues
+
+    def test_distinct_arrays_are_independent(self):
+        source = (
+            "void f(int n, double *a, double *b) {\n"
+            "  for (int i = 1; i < n; i++) { a[i] = b[i - 1] + b[i + 1]; }\n"
+            "}")
+        assert not analyze(source, checkers=["loop-carried-dep"]).issues
+
+
+# --------------------------------------------------------------------- #
+class TestRunner:
+    def test_parse_errors_become_frontend_issues(self):
+        report = analyze("void f( {")
+        assert len(report.issues) == 1
+        assert report.issues[0].checker == "frontend"
+        assert report.issues[0].severity is Severity.ERROR
+        assert not report.ok
+
+    def test_missing_file_becomes_frontend_issue(self, tmp_path):
+        report = AnalyzerRunner().analyze_file(tmp_path / "nope.c")
+        assert report.issues[0].checker == "frontend"
+
+    def test_multi_file_reports_merge(self, tmp_path):
+        good = tmp_path / "good.c"
+        good.write_text("void g(double *o) { o[0] = 1.0; }\n")
+        bad = tmp_path / "bad.c"
+        bad.write_text("void b(double *o) { double x; o[0] = x; }\n")
+        report = AnalyzerRunner().analyze_paths([good, bad])
+        assert set(report.files) == {str(good), str(bad)}
+        assert [i.checker for i in report.issues] == ["uninit-read"]
+
+    def test_issues_sorted_by_location(self):
+        report = analyze(
+            "void f(double *o) {\n"
+            "  double x;\n"
+            "  double y;\n"
+            "  o[0] = y;\n"
+            "  o[1] = x;\n"
+            "}", checkers=["uninit-read"])
+        assert [i.variable for i in report.issues] == ["y", "x"]
+        assert [i.line for i in report.issues] == [4, 5]
+
+    def test_seed_kernels_and_variants_are_clean(self):
+        # the acceptance bar: zero false positives on every registered
+        # benchmark kernel and every advisor variant of it
+        from repro.api.registries import kernel_registry
+        from repro.advisor.transformations import generate_all_variants
+
+        runner = AnalyzerRunner()
+        for name, kernel in kernel_registry.items():
+            report = runner.analyze_source(kernel.source, file=name)
+            assert not report.issues, \
+                f"{name}: {[i.render() for i in report.issues]}"
+            for variant in generate_all_variants(kernel):
+                report = runner.analyze_source(variant.source,
+                                               file=variant.name)
+                assert not report.issues, \
+                    f"{variant.name}: {[i.render() for i in report.issues]}"
+
+
+# --------------------------------------------------------------------- #
+class TestCLI:
+    def test_text_mode(self, tmp_path, capsys):
+        path = tmp_path / "k.c"
+        path.write_text("void f(double *o) { double x; o[0] = x; }\n")
+        assert cli_main([str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "[uninit-read]" in out and "1 file analyzed" in out
+
+    def test_json_mode_schema(self, tmp_path, capsys):
+        path = tmp_path / "k.c"
+        path.write_text("void f(double *o) { o[0] = 2.0; }\n")
+        assert cli_main(["--json", str(path)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema_version"] == SCHEMA_VERSION
+        assert payload["issues"] == []
+        assert Report.from_dict(payload) == Report.from_dict(payload)
+
+    def test_checker_selection(self, tmp_path, capsys):
+        path = tmp_path / "k.c"
+        path.write_text("void f(double *o) { double x; double y; o[0] = x; }\n")
+        assert cli_main(["--checkers", "dead-store", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "[dead-store]" in out and "[uninit-read]" not in out
+
+    def test_strict_exit_code(self, tmp_path, capsys):
+        path = tmp_path / "k.c"
+        path.write_text("void f(double *o) { double x; o[0] = x; }\n")
+        assert cli_main(["--strict", str(path)]) == 1
+        assert cli_main([str(path)]) == 0
+
+    def test_sizes_flag(self, tmp_path, capsys):
+        path = tmp_path / "k.c"
+        path.write_text(
+            "void f(int n, double v) {\n"
+            "  double b[n];\n"
+            "  for (int i = 0; i < 10; i++) { b[i] = v; }\n"
+            "  v = b[0];\n"
+            "}\n")
+        assert cli_main(["--strict", "--sizes", "n=8", str(path)]) == 1
+        capsys.readouterr()
+
+    def test_list_checkers(self, capsys):
+        assert cli_main(["--list-checkers"]) == 0
+        out = capsys.readouterr().out
+        for name in default_checker_names():
+            assert name in out
+
+    def test_usage_error_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            cli_main([])
+        assert excinfo.value.code == 2
+        capsys.readouterr()

@@ -10,6 +10,7 @@ from repro.clang.ast_nodes import DeclRefExpr, ForStmt, ImplicitCastExpr, VarDec
 from repro.clang.semantics import (
     ConstantEnvironment,
     SemanticError,
+    counter_range,
     estimate_trip_count,
     evaluate_constant,
     insert_implicit_casts,
@@ -217,3 +218,91 @@ class TestTripCount:
     def test_trip_count_matches_python_range(self, start, stop, step):
         loop = self.get_loop(f"for (int i = {start}; i < {stop}; i += {step}) {{}}")
         assert estimate_trip_count(loop) == len(range(start, stop, step))
+
+
+class TestConstantFoldingEdges:
+    def test_division_by_zero_is_not_constant(self):
+        assert evaluate_constant(parse_expr("1 / 0")) is None
+        assert evaluate_constant(parse_expr("7 % 0")) is None
+
+    def test_division_by_folded_zero(self):
+        assert evaluate_constant(parse_expr("4 / (2 - 2)")) is None
+
+    def test_integer_division_truncates(self):
+        assert evaluate_constant(parse_expr("7 / 2")) == 3
+        assert evaluate_constant(parse_expr("7.0 / 2")) == 3.5
+
+    def test_mixed_unary_operators(self):
+        assert evaluate_constant(parse_expr("-(-3)")) == 3
+        assert evaluate_constant(parse_expr("+-+5")) == -5
+        assert evaluate_constant(parse_expr("!0")) == 1
+        assert evaluate_constant(parse_expr("~0")) == -1
+
+    def test_unresolvable_name_is_not_constant(self):
+        assert evaluate_constant(parse_expr("mystery + 1")) is None
+
+    def test_environment_resolves_names(self):
+        env = ConstantEnvironment({"N": 6})
+        assert evaluate_constant(parse_expr("N * 2"), env) == 12
+
+    def test_with_values_layers_without_mutation(self):
+        base = ConstantEnvironment({"N": 4, "M": 2})
+        layered = base.with_values({"M": 9, "K": 1})
+        assert evaluate_constant(parse_expr("N + M"), layered) == 13
+        assert evaluate_constant(parse_expr("K"), layered) == 1
+        # the base environment is untouched
+        assert evaluate_constant(parse_expr("M"), base) == 2
+        assert evaluate_constant(parse_expr("K"), base) is None
+
+
+class TestSemanticErrorLocation:
+    def test_strict_error_names_line_and_column(self):
+        ast = parse_snippet("int x = 1;\nx = missing_name;")
+        with pytest.raises(SemanticError, match=r"line 2") as excinfo:
+            resolve_references(ast, strict=True)
+        assert excinfo.value.location[0] == 2
+
+    def test_default_location_omitted_from_message(self):
+        error = SemanticError("plain")
+        assert "line" not in str(error)
+        assert error.location == (0, 0)
+
+
+class TestCounterRange:
+    @staticmethod
+    def get_loop(code):
+        ast = analyze(parse_snippet(code))
+        return [n for n in ast.walk() if isinstance(n, ForStmt)][0]
+
+    def test_upward_exclusive(self):
+        loop = self.get_loop("for (int i = 0; i < 10; i++) {}")
+        assert counter_range(loop) == (0, 9)
+
+    def test_upward_inclusive_with_stride(self):
+        loop = self.get_loop("for (int i = 1; i <= 10; i += 3) {}")
+        assert counter_range(loop) == (1, 10)
+
+    def test_stride_stops_short_of_bound(self):
+        loop = self.get_loop("for (int i = 0; i < 10; i += 4) {}")
+        assert counter_range(loop) == (0, 8)
+
+    def test_downward_loop(self):
+        loop = self.get_loop("for (int i = 9; i >= 0; i--) {}")
+        assert counter_range(loop) == (0, 9)
+
+    def test_zero_trip_loop_has_no_range(self):
+        loop = self.get_loop("for (int i = 10; i < 5; i++) {}")
+        assert counter_range(loop) is None
+
+    def test_unknown_bound_without_env(self):
+        loop = self.get_loop("for (int i = 0; i < N; i++) {}")
+        assert counter_range(loop) is None
+        assert counter_range(loop, ConstantEnvironment({"N": 4})) == (0, 3)
+
+    @given(st.integers(0, 20), st.integers(21, 100), st.integers(1, 5))
+    @settings(max_examples=30, deadline=None)
+    def test_range_matches_python_range(self, start, stop, step):
+        loop = self.get_loop(
+            f"for (int i = {start}; i < {stop}; i += {step}) {{}}")
+        values = range(start, stop, step)
+        assert counter_range(loop) == (values[0], values[-1])

@@ -69,6 +69,58 @@ class TestSourceGenerator:
         with pytest.raises(ValueError, match="pragma_probability"):
             SourceGenConfig(pragma_probability=1.5)
 
+    def test_var_decls_metadata_is_deterministic(self):
+        for seed in range(10):
+            assert generate_kernel(seed).var_decls == \
+                generate_kernel(seed).var_decls
+
+    def test_fuzz_generator_initializes_every_decl(self):
+        # the fuzz grammar always writes a declaration before reading it, so
+        # generated kernels never trip the uninitialized-read checker
+        for seed in range(10):
+            kernel = generate_kernel(seed)
+            assert kernel.var_decls, "expected declaration metadata"
+            assert all(initialized for _, initialized in kernel.var_decls)
+
+    def test_var_decls_match_the_source(self):
+        kernel = generate_kernel(11)
+        for name, _ in kernel.var_decls:
+            assert f" {name} " in kernel.source or f" {name};" in kernel.source
+
+
+class TestDefectGenerator:
+    def test_same_seed_is_identical(self):
+        from repro.synth import generate_defect_kernel
+        assert generate_defect_kernel(9) == generate_defect_kernel(9)
+
+    def test_defected_and_clean_twins_parse(self):
+        from repro.synth import generate_defect_kernel
+        for seed in range(6):
+            for clean in (False, True):
+                kernel = generate_defect_kernel(seed, clean=clean)
+                ast = analyze(parse_source(kernel.source))
+                assert ast.kind == "TranslationUnitDecl"
+
+    def test_ground_truth_lines_point_at_real_lines(self):
+        from repro.synth import generate_defect_kernel
+        kernel = generate_defect_kernel(13)
+        lines = kernel.source.splitlines()
+        for defect in kernel.defects:
+            assert 1 <= defect.line <= len(lines)
+            if defect.checker != "dead-store":
+                assert defect.variable in lines[defect.line - 1]
+
+    def test_uninitialized_decl_is_recorded_in_metadata(self):
+        from repro.synth import generate_defect_kernel
+        kernel = generate_defect_kernel(4)
+        planted_uninit = {d.variable for d in kernel.defects
+                          if d.checker == "uninit-read"}
+        uninitialized = {name for name, initialized in kernel.var_decls
+                         if not initialized}
+        assert planted_uninit <= uninitialized
+        control = generate_defect_kernel(4, clean=True)
+        assert all(initialized for _, initialized in control.var_decls)
+
 
 class TestGraphGenerator:
     def test_same_seed_same_graph(self):
