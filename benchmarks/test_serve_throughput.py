@@ -205,3 +205,78 @@ def test_serve_throughput_scales_with_workers(benchmark):
             0.6 * results[1]["requests_per_s"], (
             f"worker-pool overhead collapsed throughput on 1 core: {rates}")
     assert coalescing.max_coalesced >= 2, "micro-batching never coalesced"
+
+
+RELIABILITY_ROUNDS = 3 if QUICK else 7
+FAULT_POINT_CALLS = 20_000 if QUICK else 200_000
+
+
+def test_reliability_overhead_faults_off(benchmark):
+    """PR 7 regression guard: the reliability layer (deadline bookkeeping,
+    breaker admission, retry wrapper, fault hooks with no injector) must
+    cost < 5% on the clean serving path.
+
+    A/B waves are interleaved and each arm takes its min-of-N, so a noisy
+    neighbour inflates both arms instead of biasing the comparison.
+    """
+    from repro.reliability.faults import SITE_FORWARD, fault_point
+
+    session = make_trained_session()
+    requests = build_corpus(CORPUS_SIZE, seed=2027).sources()
+    expected = session.predict_batch(requests, PLATFORM, dtype=None)
+
+    plain = Server(session, ServerConfig(
+        num_workers=0, max_retries=0, breaker_threshold=0))
+    engaged = Server(session, ServerConfig(
+        num_workers=0, default_deadline_s=30.0, max_queue_depth=256,
+        max_retries=2, breaker_threshold=8))
+
+    def wave(server: Server) -> float:
+        start = time.perf_counter()
+        got = server.predict_batch(requests, PLATFORM, dtype=None)
+        elapsed = time.perf_counter() - start
+        np.testing.assert_array_equal(got, expected)
+        return elapsed
+
+    wave(plain), wave(engaged)          # warm both paths
+    plain_s, engaged_s = [], []
+    for _ in range(RELIABILITY_ROUNDS):
+        plain_s.append(wave(plain))
+        engaged_s.append(wave(engaged))
+    plain_min, engaged_min = min(plain_s), min(engaged_s)
+    overhead_pct = (engaged_min - plain_min) / plain_min * 100.0
+
+    # the hook itself: a global read + return when no injector is active
+    start = time.perf_counter()
+    for _ in range(FAULT_POINT_CALLS):
+        fault_point(SITE_FORWARD, None)
+    fault_point_ns = (time.perf_counter() - start) / FAULT_POINT_CALLS * 1e9
+
+    benchmark.pedantic(lambda: wave(engaged), rounds=1, iterations=1)
+
+    report("\n".join([
+        f"reliability-layer overhead ({len(requests)} kernels/wave, "
+        f"min of {RELIABILITY_ROUNDS} interleaved waves, faults off):",
+        f"  plain wave (no reliability)   : {plain_min * 1000:8.2f} ms",
+        f"  engaged wave (deadline/retry/ : {engaged_min * 1000:8.2f} ms",
+        f"    breaker/admission)            ({overhead_pct:+.2f}%)",
+        f"  fault_point (no injector)     : {fault_point_ns:8.1f} ns/call",
+    ]))
+    report_json("BENCH_pr7_reliability.json", {
+        "corpus_size": len(requests),
+        "rounds": RELIABILITY_ROUNDS,
+        "plain_wave_ms": plain_min * 1000.0,
+        "engaged_wave_ms": engaged_min * 1000.0,
+        "overhead_pct": overhead_pct,
+        "fault_point_ns": fault_point_ns,
+        "cpu_count": os.cpu_count() or 1,
+        "quick_mode": QUICK,
+    })
+
+    assert overhead_pct < 5.0, (
+        f"reliability layer costs {overhead_pct:.2f}% on the clean path "
+        f"(plain {plain_min * 1000:.2f} ms vs engaged "
+        f"{engaged_min * 1000:.2f} ms); the faults-off budget is < 5%")
+    assert fault_point_ns < 2_000, (
+        f"fault_point no-injector fast path took {fault_point_ns:.0f} ns; "
+        "it must stay a global read + return")

@@ -19,6 +19,9 @@ et al.), including every substrate the paper depends on:
 * ``repro.hardware`` -- analytical Summit/Corona accelerator simulator,
 * ``repro.pipeline`` -- the legacy end-to-end workflow (thin shim over
   ``repro.api``),
+* ``repro.reliability`` -- the failure model: seeded fault injection,
+  deadline/retry/backoff semantics, per-shard circuit breakers and the
+  typed error taxonomy the serving + store stack degrades through,
 * ``repro.serve`` -- the concurrent micro-batching serving runtime
   (worker pool, per-platform sharding, re-entrant inference contexts),
 * ``repro.store`` -- the model artifact store: versioned, checksummed
@@ -71,6 +74,7 @@ _SUBPACKAGES = (
     "nn",
     "paragraph",
     "pipeline",
+    "reliability",
     "serve",
     "store",
     "synth",

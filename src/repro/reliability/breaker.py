@@ -1,0 +1,109 @@
+"""Per-shard circuit breaker: fail fast when a shard fails persistently.
+
+The classic three-state machine:
+
+* **closed** — requests flow; consecutive failures are counted, successes
+  reset the count,
+* **open** — entered after ``failure_threshold`` consecutive failures;
+  :meth:`CircuitBreaker.allow` answers ``False`` (the server raises
+  :class:`~repro.reliability.errors.CircuitOpenError` without queueing),
+* **half-open** — after ``reset_s`` one *trial* request is admitted;
+  success closes the circuit, failure re-opens it for another ``reset_s``.
+
+The breaker guards a *shard* (platform × parse mode × dtype): one
+platform's broken model set must not consume the pool's capacity on
+requests that will fail anyway, and the future fleet dispatcher reads
+breaker states from ``Server.healthz()`` to route around dead shards.
+Thread-safe; time is injectable for tests.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+__all__ = ["CircuitBreaker"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker with half-open trials."""
+
+    def __init__(self, failure_threshold: int = 8, reset_s: float = 5.0,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1 (use no breaker "
+                             "at all to disable breaking)")
+        if reset_s < 0:
+            raise ValueError("reset_s must be >= 0")
+        self.failure_threshold = int(failure_threshold)
+        self.reset_s = float(reset_s)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._trial_in_flight = False
+        self._trial_started = 0.0
+
+    # -------------------------------------------------------------- #
+    @property
+    def state(self) -> str:
+        """``"closed"`` / ``"open"`` / ``"half-open"`` (transition-aware)."""
+        with self._lock:
+            self._maybe_half_open_locked()
+            return self._state
+
+    def allow(self) -> bool:
+        """May a request proceed right now?
+
+        In half-open state exactly one in-flight trial is admitted; other
+        requests keep failing fast until the trial reports its outcome.  A
+        trial that never reports (shed, deadline-dropped) is written off
+        after another ``reset_s`` so the breaker cannot wedge half-open.
+        """
+        with self._lock:
+            self._maybe_half_open_locked()
+            if self._state == CLOSED:
+                return True
+            if self._state == HALF_OPEN:
+                now = self._clock()
+                if not self._trial_in_flight or \
+                        now - self._trial_started >= self.reset_s:
+                    self._trial_in_flight = True
+                    self._trial_started = now
+                    return True
+            return False
+
+    def record_success(self) -> None:
+        """A request (or the half-open trial) succeeded: close the circuit."""
+        with self._lock:
+            self._state = CLOSED
+            self._consecutive_failures = 0
+            self._trial_in_flight = False
+
+    def record_failure(self) -> None:
+        """A request failed: count it; trip when the threshold is reached."""
+        with self._lock:
+            self._consecutive_failures += 1
+            if self._state == HALF_OPEN or \
+                    self._consecutive_failures >= self.failure_threshold:
+                self._state = OPEN
+                self._opened_at = self._clock()
+                self._trial_in_flight = False
+
+    # -------------------------------------------------------------- #
+    def _maybe_half_open_locked(self) -> None:
+        if self._state == OPEN and \
+                self._clock() - self._opened_at >= self.reset_s:
+            self._state = HALF_OPEN
+            self._trial_in_flight = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (f"CircuitBreaker(state={self.state!r}, "
+                f"failures={self._consecutive_failures}/"
+                f"{self.failure_threshold}, reset_s={self.reset_s})")

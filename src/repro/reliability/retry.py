@@ -1,0 +1,146 @@
+"""Deadline-aware retries: exponential backoff, jitter, and a budget.
+
+Three cooperating pieces:
+
+* :class:`RetryPolicy` — how an *individual* call retries: attempt count,
+  exponential backoff with full jitter (decorrelated sleeps prevent retry
+  convoys hammering a recovering dependency in lockstep),
+* :class:`RetryBudget` — a server-wide token bucket bounding how much
+  *total* work retries may amplify: every retry spends a token, every
+  success drips a fraction back, so a persistent outage degrades to
+  fail-fast instead of doubling load exactly when capacity is scarcest,
+* :func:`call_with_retry` — the loop: classify the failure (deterministic
+  errors fail fast — see :func:`~repro.reliability.errors.is_transient`),
+  check budget and deadline, sleep, go again.
+
+The deadline always wins: if the next backoff would overrun it, the call
+raises :class:`~repro.reliability.errors.DeadlineExceeded` chained from
+the underlying fault — the caller sees both *that* time ran out and *why*
+the attempts were failing.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from .errors import DeadlineExceeded, is_transient
+
+__all__ = ["RetryBudget", "RetryPolicy", "call_with_retry"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Backoff shape of one retried call.
+
+    ``max_retries`` counts *re*-attempts (0 disables retrying); backoff for
+    retry *n* is ``min(backoff_s * 2**n, backoff_cap_s)`` scaled by full
+    jitter into ``[1 - jitter, 1] × base``.
+    """
+
+    max_retries: int = 2
+    backoff_s: float = 0.005
+    backoff_cap_s: float = 0.25
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.backoff_s < 0 or self.backoff_cap_s < 0:
+            raise ValueError("backoff durations must be >= 0")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+
+    def backoff_for(self, attempt: int,
+                    rng: Optional[random.Random] = None) -> float:
+        """Jittered sleep before retry *attempt* (0-based)."""
+        base = min(self.backoff_s * (2.0 ** attempt), self.backoff_cap_s)
+        draw = (rng or random).random()
+        return base * (1.0 - self.jitter * draw)
+
+
+class RetryBudget:
+    """Token bucket bounding total retry amplification (thread-safe).
+
+    Starts full at *capacity*; :meth:`take` spends one token per retry,
+    :meth:`refill` (called on every success) drips ``refill_per_success``
+    back.  An exhausted budget turns retries off server-wide until
+    successes replenish it — the adaptive-retry shape production SDKs use.
+    """
+
+    def __init__(self, capacity: float = 32.0,
+                 refill_per_success: float = 0.5) -> None:
+        if capacity < 0:
+            raise ValueError("capacity must be >= 0")
+        if refill_per_success < 0:
+            raise ValueError("refill_per_success must be >= 0")
+        self.capacity = float(capacity)
+        self.refill_per_success = float(refill_per_success)
+        self._tokens = float(capacity)
+        self._lock = threading.Lock()
+
+    @property
+    def tokens(self) -> float:
+        with self._lock:
+            return self._tokens
+
+    def take(self) -> bool:
+        """Spend one token; ``False`` (no retry) when the budget is dry."""
+        with self._lock:
+            if self._tokens >= 1.0:
+                self._tokens -= 1.0
+                return True
+            return False
+
+    def refill(self) -> None:
+        """Drip one success's worth of budget back (bounded by capacity)."""
+        with self._lock:
+            self._tokens = min(self.capacity,
+                               self._tokens + self.refill_per_success)
+
+
+def call_with_retry(
+    fn: Callable[[], "object"],
+    *,
+    policy: RetryPolicy,
+    budget: Optional[RetryBudget] = None,
+    deadline: Optional[float] = None,
+    classify: Callable[[BaseException], bool] = is_transient,
+    on_retry: Optional[Callable[[BaseException, int], None]] = None,
+    sleep: Callable[[float], None] = time.sleep,
+) -> "object":
+    """Run *fn*, retrying transient failures under *policy*.
+
+    *deadline* is an absolute ``time.monotonic()`` instant.  Deterministic
+    failures (per *classify*) and exhausted budgets re-raise the original
+    error; a deadline with no room for the next backoff raises
+    :class:`DeadlineExceeded` chained from it.  *on_retry* observes every
+    retry (the server counts them there).
+    """
+    attempt = 0
+    while True:
+        try:
+            result = fn()
+        except Exception as error:  # noqa: BLE001 - classified below
+            if not classify(error) or attempt >= policy.max_retries:
+                raise
+            if budget is not None and not budget.take():
+                raise
+            pause = policy.backoff_for(attempt)
+            if deadline is not None and \
+                    time.monotonic() + pause >= deadline:
+                raise DeadlineExceeded(
+                    f"deadline expired after {attempt + 1} attempt(s); "
+                    f"last failure: {type(error).__name__}: {error}"
+                ) from error
+            if on_retry is not None:
+                on_retry(error, attempt)
+            sleep(pause)
+            attempt += 1
+        else:
+            if budget is not None:
+                budget.refill()
+            return result

@@ -11,20 +11,36 @@ Built on the re-entrant engine contexts of :mod:`repro.nn.context`:
 * :class:`~repro.serve.batching.MicroBatcher` — the shard-aware queue and
   batch-formation policy, reusable without a model.
 
+The runtime degrades through the typed failure model of
+:mod:`repro.reliability` (re-exported here for convenience): per-request
+deadlines (``DeadlineExceeded``), load shedding (``ServerOverloaded``),
+per-shard circuit breakers (``CircuitOpenError``), transient-failure
+retries with backoff, and ``ServerClosedError`` on post-close use.
+
 ``Session.predict_batch`` is a thin client of an embedded inline server,
 so the synchronous facade and the concurrent runtime share one execution
-path.  See ``SERVING.md`` for the architecture and the bit-reproducibility
-contract.
+path.  See ``SERVING.md`` for the architecture, the bit-reproducibility
+contract and the failure model.
 """
 
+from ..reliability.errors import (
+    CircuitOpenError,
+    DeadlineExceeded,
+    ServerClosedError,
+    ServerOverloaded,
+)
 from .batching import BatcherStats, MicroBatcher, ShardKey, WorkItem
 from .server import Server, ServerConfig, ServerStats, resolve_result_dtype
 
 __all__ = [
     "BatcherStats",
+    "CircuitOpenError",
+    "DeadlineExceeded",
     "MicroBatcher",
     "Server",
+    "ServerClosedError",
     "ServerConfig",
+    "ServerOverloaded",
     "ServerStats",
     "ShardKey",
     "WorkItem",

@@ -17,6 +17,20 @@ The serving :class:`~repro.serve.server.Server` separates *what to run*
   bit-stable across *different* batch shapes, so reproducibility requires
   composition-stable batches).
 
+The queue also enforces the *admission* half of the failure model (see
+``repro.reliability`` and SERVING.md's "Failure model"):
+
+* a ``max_queue_depth`` bound sheds work at enqueue time with
+  :class:`~repro.reliability.errors.ServerOverloaded` instead of letting
+  the backlog (and every queued caller's latency) grow without bound,
+* per-request **deadlines** are honoured at *dequeue* time too: a request
+  whose deadline passed while queued is dropped with
+  :class:`~repro.reliability.errors.DeadlineExceeded` before a worker
+  wastes a forward on an answer nobody is waiting for,
+* post-``close()`` use raises the typed
+  :class:`~repro.reliability.errors.ServerClosedError` (a ``RuntimeError``
+  subclass, so existing ``except RuntimeError`` handlers keep working).
+
 :class:`MicroBatcher` owns the shards, one condition variable, and the
 batch-formation policy; it is fully lock-protected and deliberately knows
 nothing about models or graphs, so its scheduling behaviour is unit-testable
@@ -31,6 +45,13 @@ from collections import OrderedDict, deque
 from concurrent.futures import Future
 from dataclasses import dataclass, field
 from typing import Deque, List, NamedTuple, Optional, Tuple
+
+from ..reliability.errors import (
+    DeadlineExceeded,
+    ServerClosedError,
+    ServerOverloaded,
+)
+from ..reliability.faults import SITE_SCHEDULE, fault_point
 
 __all__ = ["BatcherStats", "MicroBatcher", "SHUTDOWN_MESSAGE", "ShardKey",
            "WorkItem"]
@@ -50,12 +71,18 @@ class ShardKey(NamedTuple):
 
 
 class WorkItem(NamedTuple):
-    """One unit a worker executes: a micro-batch of singles or a whole job."""
+    """One unit a worker executes: a micro-batch of singles or a whole job.
+
+    ``deadlines`` carries each request's absolute ``time.monotonic()``
+    deadline (``None`` = unbounded): per-spec for singles, and a single
+    shared entry for a job.  Workers re-check them at execution time.
+    """
 
     key: ShardKey
     specs: List[object]          # SourceSpecs, in result order
     futures: List[Future]        # per-spec for singles; exactly one for a job
     kind: str                    # "singles" | "job"
+    deadlines: List[Optional[float]]
 
 
 @dataclass
@@ -63,6 +90,7 @@ class _Single:
     spec: object
     future: Future
     enqueued: float
+    deadline: Optional[float] = None
 
 
 @dataclass
@@ -70,6 +98,7 @@ class _Job:
     specs: List[object]
     future: Future
     enqueued: float
+    deadline: Optional[float] = None
 
 
 @dataclass
@@ -94,6 +123,8 @@ class BatcherStats(NamedTuple):
     max_coalesced: int           # largest single-request micro-batch formed
     coalesced_total: int         # singles that travelled in micro-batches
     peak_depth: int              # max simultaneous pending requests observed
+    shed: int = 0                # requests refused by admission control
+    deadline_expired: int = 0    # requests dropped at dequeue, deadline past
 
 
 class MicroBatcher:
@@ -103,15 +134,23 @@ class MicroBatcher:
     which blocks until a batch is due (or ``None`` after :meth:`stop` once
     the queue is fully drained — pending futures are never dropped), and
     must pair every received item with one :meth:`task_done`.
+
+    ``max_queue_depth`` (0 = unbounded) caps total pending *requests*
+    (specs, not work items) across all shards; enqueues beyond it raise
+    :class:`ServerOverloaded`.
     """
 
-    def __init__(self, max_batch_size: int, batch_window_s: float) -> None:
+    def __init__(self, max_batch_size: int, batch_window_s: float,
+                 max_queue_depth: int = 0) -> None:
         if max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1")
         if batch_window_s < 0:
             raise ValueError("batch_window_s must be >= 0")
+        if max_queue_depth < 0:
+            raise ValueError("max_queue_depth must be >= 0 (0 = unbounded)")
         self.max_batch_size = int(max_batch_size)
         self.batch_window_s = float(batch_window_s)
+        self.max_queue_depth = int(max_queue_depth)
         self._lock = threading.Lock()
         self._ready = threading.Condition(self._lock)
         self._shards: "OrderedDict[ShardKey, _Shard]" = OrderedDict()
@@ -126,6 +165,8 @@ class MicroBatcher:
         self._max_coalesced = 0
         self._coalesced_total = 0
         self._peak_depth = 0
+        self._shed = 0
+        self._deadline_expired = 0
 
     # ------------------------------------------------------------------ #
     # producer side
@@ -136,21 +177,40 @@ class MicroBatcher:
             shard = self._shards[key] = _Shard(key)
         return shard
 
+    def _depth_locked(self) -> int:
+        return sum(len(shard.singles) + sum(len(job.specs)
+                                            for job in shard.jobs)
+                   for shard in self._shards.values())
+
     def _note_depth(self) -> None:
-        depth = sum(shard.pending() for shard in self._shards.values())
+        depth = self._depth_locked()
         if depth > self._peak_depth:
             self._peak_depth = depth
 
     def _checked_open(self) -> None:
         if self._stopping:
-            raise RuntimeError(SHUTDOWN_MESSAGE)
+            raise ServerClosedError(SHUTDOWN_MESSAGE)
 
-    def enqueue_single(self, key: ShardKey, spec) -> Future:
+    def _checked_admission(self, incoming: int) -> None:
+        if not self.max_queue_depth:
+            return
+        depth = self._depth_locked()
+        if depth + incoming > self.max_queue_depth:
+            self._shed += incoming
+            raise ServerOverloaded(
+                f"serving queue is full ({depth} pending, limit "
+                f"{self.max_queue_depth}); retry with backoff or raise "
+                "ServerConfig.max_queue_depth")
+
+    def enqueue_single(self, key: ShardKey, spec,
+                       deadline: Optional[float] = None) -> Future:
         """Queue one prediction for micro-batch coalescing."""
         future: Future = Future()
         with self._ready:
             self._checked_open()
-            self._shard(key).singles.append(_Single(spec, future, time.monotonic()))
+            self._checked_admission(1)
+            self._shard(key).singles.append(
+                _Single(spec, future, time.monotonic(), deadline))
             self._singles += 1
             self._note_depth()
             # notify_all: workers and wait_idle() callers share this
@@ -159,12 +219,15 @@ class MicroBatcher:
             self._ready.notify_all()
         return future
 
-    def enqueue_job(self, key: ShardKey, specs: List[object]) -> Future:
+    def enqueue_job(self, key: ShardKey, specs: List[object],
+                    deadline: Optional[float] = None) -> Future:
         """Queue one explicit batch; executed whole, never merged."""
         future: Future = Future()
         with self._ready:
             self._checked_open()
-            self._shard(key).jobs.append(_Job(list(specs), future, time.monotonic()))
+            self._checked_admission(len(specs))
+            self._shard(key).jobs.append(
+                _Job(list(specs), future, time.monotonic(), deadline))
             self._jobs += 1
             self._note_depth()
             self._ready.notify_all()
@@ -179,7 +242,8 @@ class MicroBatcher:
         self._max_coalesced = max(self._max_coalesced, len(taken))
         self._coalesced_total += len(taken)
         return WorkItem(shard.key, [s.spec for s in taken],
-                        [s.future for s in taken], "singles")
+                        [s.future for s in taken], "singles",
+                        [s.deadline for s in taken])
 
     def _rotated_shards(self) -> List[_Shard]:
         """Shards starting at a rotating offset, so no shard's traffic can
@@ -190,6 +254,53 @@ class MicroBatcher:
             self._rotation += 1
             shards = shards[offset:] + shards[:offset]
         return shards
+
+    def _pop_expired_locked(self, now: float) -> List[Future]:
+        """Drop queued requests whose deadline has already passed.
+
+        Returns their futures; the caller sets :class:`DeadlineExceeded`
+        *outside* the lock (future callbacks run on the setting thread and
+        must not deadlock against the batcher).
+        """
+        expired: List[Future] = []
+        for shard in self._shards.values():
+            if any(s.deadline is not None and s.deadline <= now
+                   for s in shard.singles):
+                keep: Deque[_Single] = deque()
+                for single in shard.singles:
+                    if single.deadline is not None and single.deadline <= now:
+                        expired.append(single.future)
+                        self._deadline_expired += 1
+                    else:
+                        keep.append(single)
+                shard.singles = keep
+            if any(j.deadline is not None and j.deadline <= now
+                   for j in shard.jobs):
+                keep_jobs: Deque[_Job] = deque()
+                for job in shard.jobs:
+                    if job.deadline is not None and job.deadline <= now:
+                        expired.append(job.future)
+                        self._deadline_expired += len(job.specs)
+                    else:
+                        keep_jobs.append(job)
+                shard.jobs = keep_jobs
+        if expired:
+            self._ready.notify_all()
+        return expired
+
+    def _next_request_deadline_locked(self) -> Optional[float]:
+        """Earliest queued request deadline (bounds the scheduler's sleep)."""
+        earliest: Optional[float] = None
+        for shard in self._shards.values():
+            for single in shard.singles:
+                if single.deadline is not None and \
+                        (earliest is None or single.deadline < earliest):
+                    earliest = single.deadline
+            for job in shard.jobs:
+                if job.deadline is not None and \
+                        (earliest is None or job.deadline < earliest):
+                    earliest = job.deadline
+        return earliest
 
     def _take_locked(self, now: float) -> Tuple[Optional[WorkItem], Optional[float]]:
         """One scheduling pass; returns (item, next_deadline)."""
@@ -214,7 +325,8 @@ class MicroBatcher:
         for shard in shards:
             if shard.jobs:
                 job = shard.jobs.popleft()
-                return WorkItem(shard.key, job.specs, [job.future], "job"), None
+                return WorkItem(shard.key, job.specs, [job.future], "job",
+                                [job.deadline]), None
         for shard in shards:
             if not shard.singles:
                 continue
@@ -226,19 +338,38 @@ class MicroBatcher:
 
     def next_batch(self) -> Optional[WorkItem]:
         """Block until a batch is due; ``None`` once stopped *and* drained."""
-        with self._ready:
-            while True:
-                item, deadline = self._take_locked(time.monotonic())
-                if item is not None:
-                    self._in_flight += 1
-                    self._batches += 1
-                    self._requests_executed += len(item.specs)
-                    return item
-                if self._stopping:
-                    return None
-                timeout = None if deadline is None \
-                    else max(deadline - time.monotonic(), 0.0)
-                self._ready.wait(timeout)
+        while True:
+            expired: List[Future] = []
+            item: Optional[WorkItem] = None
+            with self._ready:
+                now = time.monotonic()
+                expired = self._pop_expired_locked(now)
+                if not expired:
+                    item, wake = self._take_locked(now)
+                    if item is not None:
+                        self._in_flight += 1
+                        self._batches += 1
+                        self._requests_executed += len(item.specs)
+                    elif self._stopping:
+                        return None
+                    else:
+                        next_deadline = self._next_request_deadline_locked()
+                        if next_deadline is not None:
+                            wake = next_deadline if wake is None \
+                                else min(wake, next_deadline)
+                        timeout = None if wake is None \
+                            else max(wake - time.monotonic(), 0.0)
+                        self._ready.wait(timeout)
+                        continue
+            if expired:
+                # outside the lock: done-callbacks run on the setting thread
+                for future in expired:
+                    future.set_exception(DeadlineExceeded(
+                        "request deadline expired while queued (the server "
+                        "could not schedule it in time)"))
+                continue
+            fault_point(SITE_SCHEDULE)
+            return item
 
     def task_done(self) -> None:
         """Ack one item received from :meth:`next_batch` (enables drain)."""
@@ -254,7 +385,13 @@ class MicroBatcher:
             return sum(shard.pending() for shard in self._shards.values())
 
     def wait_idle(self, timeout: Optional[float] = None) -> bool:
-        """Block until every queued request has been executed and acked."""
+        """Block until every queued request has been executed and acked.
+
+        Returns ``False`` promptly when *timeout* expires — even with a
+        wedged worker holding an item forever, the caller gets control back
+        within the timeout (plus scheduler noise), never later.  A
+        ``timeout`` of 0 is a non-blocking idleness poll.
+        """
         end = None if timeout is None else time.monotonic() + timeout
         with self._ready:
             while (self._in_flight
@@ -281,4 +418,6 @@ class MicroBatcher:
                 max_coalesced=self._max_coalesced,
                 coalesced_total=self._coalesced_total,
                 peak_depth=self._peak_depth,
+                shed=self._shed,
+                deadline_expired=self._deadline_expired,
             )

@@ -20,11 +20,30 @@ worker threads:
   shared caches (graph construction, edge layouts, scatter matrices) are
   lock-protected, so no external serialization is needed anywhere.
 
+The runtime also implements the **failure model** of
+:mod:`repro.reliability` (knobs on :class:`ServerConfig`, degradation
+table in SERVING.md):
+
+* per-request **deadlines** — ``deadline_s`` on every entry point (or
+  ``default_deadline_s``); expired work is dropped at dequeue time and
+  callers get :class:`~repro.reliability.errors.DeadlineExceeded`, never
+  an unbounded wait,
+* **retries** — transient execution failures (classified by
+  :func:`~repro.reliability.errors.is_transient`) are retried with
+  exponential backoff + jitter under a server-wide
+  :class:`~repro.reliability.retry.RetryBudget`; deterministic failures
+  (e.g. parse errors) fail fast,
+* a per-shard **circuit breaker** — a persistently failing shard fails
+  fast with :class:`~repro.reliability.errors.CircuitOpenError` instead
+  of consuming pool capacity,
+* **load shedding** — ``max_queue_depth`` bounds the backlog; beyond it
+  submissions raise :class:`~repro.reliability.errors.ServerOverloaded`.
+
 With ``num_workers=0`` the server runs **inline**: no threads are started
 and every call executes synchronously on the caller's thread through the
 exact same execution path.  That is the default configuration the
 :class:`~repro.api.session.Session` facade embeds (override with the
-``REPRO_SERVE_WORKERS`` environment variable or an explicit
+``REPRO_SERVE_*`` environment variables or an explicit
 :class:`ServerConfig`).
 """
 
@@ -32,14 +51,29 @@ from __future__ import annotations
 
 import os
 import threading
+import time
 import weakref
 from concurrent.futures import Future
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass
 from typing import Dict, List, NamedTuple, Optional, Sequence
 
 import numpy as np
 
 from ..nn.context import serving_scope
+from ..reliability.breaker import CircuitBreaker
+from ..reliability.errors import (
+    CircuitOpenError,
+    DeadlineExceeded,
+    ServerClosedError,
+)
+from ..reliability.faults import (
+    SITE_FORWARD,
+    SITE_SUBMIT,
+    SITE_WORKER,
+    fault_point,
+)
+from ..reliability.retry import RetryBudget, RetryPolicy, call_with_retry
 from .batching import (
     BatcherStats,
     MicroBatcher,
@@ -54,6 +88,16 @@ __all__ = ["Server", "ServerConfig", "ServerStats", "resolve_result_dtype"]
 WORKERS_ENV = "REPRO_SERVE_WORKERS"
 MAX_BATCH_ENV = "REPRO_SERVE_MAX_BATCH"
 WINDOW_MS_ENV = "REPRO_SERVE_WINDOW_MS"
+DEADLINE_MS_ENV = "REPRO_SERVE_DEADLINE_MS"
+MAX_QUEUE_ENV = "REPRO_SERVE_MAX_QUEUE"
+MAX_RETRIES_ENV = "REPRO_SERVE_MAX_RETRIES"
+BREAKER_THRESHOLD_ENV = "REPRO_SERVE_BREAKER_THRESHOLD"
+BREAKER_RESET_MS_ENV = "REPRO_SERVE_BREAKER_RESET_MS"
+
+#: extra slack predict()/predict_specs() grant a pooled future past its
+#: deadline before declaring the request lost — covers the scheduler drop
+#: propagating back without ever racing a healthy in-flight execution
+_RESULT_GRACE_S = 0.25
 
 
 def _env_int(name: str, default: int) -> int:
@@ -98,11 +142,40 @@ class ServerConfig:
     batch_window_s:
         How long the oldest queued single prediction may wait for
         companions before its micro-batch is closed anyway.
+    default_deadline_s:
+        Deadline applied to requests that pass ``deadline_s=None``.
+        ``None`` (the default) keeps such requests unbounded.
+    max_queue_depth:
+        Admission-control bound on pending queued requests (specs, summed
+        across shards); beyond it submissions raise ``ServerOverloaded``.
+        ``0`` (the default) is unbounded.
+    max_retries:
+        Re-attempts per execution for *transient* failures (deterministic
+        failures always fail fast).  ``0`` disables retrying.
+    retry_backoff_s:
+        Base of the exponential backoff between retries (full jitter,
+        capped at 50× the base).
+    retry_budget:
+        Capacity of the server-wide retry token bucket; every retry spends
+        a token, every success drips half a token back.  Bounds retry
+        amplification during a persistent outage.
+    breaker_threshold:
+        Consecutive execution failures that open a shard's circuit
+        breaker.  ``0`` disables breakers entirely.
+    breaker_reset_s:
+        How long an open circuit waits before admitting a half-open trial.
     """
 
     num_workers: int = 0
     max_batch_size: int = 32
     batch_window_s: float = 0.002
+    default_deadline_s: Optional[float] = None
+    max_queue_depth: int = 0
+    max_retries: int = 2
+    retry_backoff_s: float = 0.005
+    retry_budget: float = 32.0
+    breaker_threshold: int = 8
+    breaker_reset_s: float = 5.0
 
     def __post_init__(self) -> None:
         if self.num_workers < 0:
@@ -111,14 +184,34 @@ class ServerConfig:
             raise ValueError("max_batch_size must be >= 1")
         if self.batch_window_s < 0:
             raise ValueError("batch_window_s must be >= 0")
+        if self.default_deadline_s is not None and self.default_deadline_s < 0:
+            raise ValueError("default_deadline_s must be >= 0 (or None)")
+        if self.max_queue_depth < 0:
+            raise ValueError("max_queue_depth must be >= 0 (0 = unbounded)")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.retry_backoff_s < 0:
+            raise ValueError("retry_backoff_s must be >= 0")
+        if self.retry_budget < 0:
+            raise ValueError("retry_budget must be >= 0")
+        if self.breaker_threshold < 0:
+            raise ValueError("breaker_threshold must be >= 0 (0 disables)")
+        if self.breaker_reset_s < 0:
+            raise ValueError("breaker_reset_s must be >= 0")
 
     @classmethod
     def from_env(cls) -> "ServerConfig":
         """Defaults, overridable through the ``REPRO_SERVE_*`` variables."""
+        deadline_ms = _env_float(DEADLINE_MS_ENV, 0.0)
         return cls(
             num_workers=_env_int(WORKERS_ENV, 0),
             max_batch_size=_env_int(MAX_BATCH_ENV, 32),
             batch_window_s=_env_float(WINDOW_MS_ENV, 2.0) / 1000.0,
+            default_deadline_s=deadline_ms / 1000.0 if deadline_ms > 0 else None,
+            max_queue_depth=_env_int(MAX_QUEUE_ENV, 0),
+            max_retries=_env_int(MAX_RETRIES_ENV, 2),
+            breaker_threshold=_env_int(BREAKER_THRESHOLD_ENV, 8),
+            breaker_reset_s=_env_float(BREAKER_RESET_MS_ENV, 5000.0) / 1000.0,
         )
 
 
@@ -138,7 +231,7 @@ def _drain_loop(batcher: MicroBatcher, server_ref) -> None:
         try:
             if server is None:
                 for future in item.futures:
-                    future.set_exception(RuntimeError(SHUTDOWN_MESSAGE))
+                    future.set_exception(ServerClosedError(SHUTDOWN_MESSAGE))
             else:
                 server._run_item(item)
         finally:
@@ -160,11 +253,38 @@ class ServerStats(NamedTuple):
     #: True when the session's model set was warm-started from a
     #: ``repro.store`` artifact instead of trained in-process.
     warm_started: bool = False
+    shed: int = 0                # requests refused by admission control
+    deadline_expired: int = 0    # requests dropped on an expired deadline
+    failures: int = 0            # requests that returned an error
+    retries: int = 0             # transient re-attempts performed
+    breaker_rejections: int = 0  # requests refused by an open circuit
+    breakers_open: int = 0       # shards currently failing fast
+    queue_depth: int = 0         # pending work items at snapshot time
 
     @classmethod
     def of(cls, num_workers: int, stats: BatcherStats,
-           warm_started: bool = False) -> "ServerStats":
-        return cls(num_workers, *stats, warm_started=warm_started)
+           warm_started: bool = False, *, deadline_dropped: int = 0,
+           inline_executed: int = 0, failures: int = 0, retries: int = 0,
+           breaker_rejections: int = 0, breakers_open: int = 0,
+           queue_depth: int = 0) -> "ServerStats":
+        return cls(
+            num_workers=num_workers,
+            singles_submitted=stats.singles_submitted,
+            jobs_submitted=stats.jobs_submitted,
+            batches_executed=stats.batches_executed,
+            requests_executed=stats.requests_executed + inline_executed,
+            max_coalesced=stats.max_coalesced,
+            coalesced_total=stats.coalesced_total,
+            peak_depth=stats.peak_depth,
+            warm_started=warm_started,
+            shed=stats.shed,
+            deadline_expired=stats.deadline_expired + deadline_dropped,
+            failures=failures,
+            retries=retries,
+            breaker_rejections=breaker_rejections,
+            breakers_open=breakers_open,
+            queue_depth=queue_depth,
+        )
 
 
 class Server:
@@ -186,7 +306,21 @@ class Server:
         self._trainers: Dict[str, object] = {}
         self._trainers_lock = threading.Lock()
         self._batcher = MicroBatcher(self.config.max_batch_size,
-                                     self.config.batch_window_s)
+                                     self.config.batch_window_s,
+                                     self.config.max_queue_depth)
+        self._retry_policy = RetryPolicy(
+            max_retries=self.config.max_retries,
+            backoff_s=self.config.retry_backoff_s,
+            backoff_cap_s=max(self.config.retry_backoff_s * 50.0, 0.0))
+        self._retry_budget = RetryBudget(capacity=self.config.retry_budget)
+        self._breakers: Dict[ShardKey, CircuitBreaker] = {}
+        self._breakers_lock = threading.Lock()
+        self._counters_lock = threading.Lock()
+        self._failures = 0
+        self._retries = 0
+        self._breaker_rejections = 0
+        self._deadline_dropped = 0   # expired at execution/inline time
+        self._inline_executed = 0    # specs executed on callers' threads
         self._closed = False
         # if the server is dropped without close(), stop the queue so the
         # parked daemon workers exit instead of pinning batcher/threads
@@ -224,9 +358,19 @@ class Server:
         return ShardKey(platform=trainer_key, snippet=bool(snippet),
                         dtype=None if dtype is None else np.dtype(dtype).str)
 
+    def _absolute_deadline(self, deadline_s: Optional[float]) -> Optional[float]:
+        if deadline_s is None:
+            deadline_s = self.config.default_deadline_s
+        if deadline_s is None:
+            return None
+        if deadline_s < 0:
+            raise ValueError("deadline_s must be >= 0 (or None)")
+        return time.monotonic() + float(deadline_s)
+
     def submit(self, source, platform, *, sizes=None, num_teams: int = 64,
                num_threads: int = 64, snippet: bool = False,
-               dtype=np.float32) -> "Future[float]":
+               dtype=np.float32,
+               deadline_s: Optional[float] = None) -> "Future[float]":
         """Queue one prediction; returns a future resolving to µs runtime.
 
         Queued singles coalesce with other callers' requests into
@@ -234,31 +378,51 @@ class Server:
         matches a solo prediction to BLAS rounding (~1e-14 relative in
         float64 — batch composition changes the GEMM shapes, which is why
         bit-exactness is only guaranteed for :meth:`predict_batch` jobs).
+
+        *deadline_s* bounds the request end to end (queueing included);
+        the future then resolves to :class:`DeadlineExceeded` instead of
+        waiting forever.  Admission failures (:class:`ServerOverloaded`,
+        :class:`CircuitOpenError`, :class:`ServerClosedError`) raise
+        synchronously on the calling thread.
         """
         from ..api.stages import SourceSpec
 
         spec = SourceSpec.of(source, sizes=sizes, num_teams=num_teams,
                              num_threads=num_threads)
         self._checked_open()
+        fault_point(SITE_SUBMIT)
+        deadline = self._absolute_deadline(deadline_s)
         key = self._shard_key(platform, snippet, dtype)
+        self._checked_breaker(key)
         if not self._workers:
             future: Future = Future()
+            if deadline is not None and time.monotonic() >= deadline:
+                self._count_deadline_dropped(1)
+                future.set_exception(DeadlineExceeded(
+                    "request deadline expired before execution"))
+                return future
+            self._count_inline_executed(1)
             try:
-                values = self._execute(key, [spec])
+                values = self._execute_with_retry(key, [spec], deadline)
             except Exception as error:  # KeyboardInterrupt etc. must propagate
+                self._count_failures(1)
                 future.set_exception(error)  # on the caller's own thread
             else:
                 future.set_result(float(values[0]))
             return future
-        return self._batcher.enqueue_single(key, spec)
+        return self._batcher.enqueue_single(key, spec, deadline)
 
-    def predict(self, source, platform, **kwargs) -> float:
+    def predict(self, source, platform, *, deadline_s: Optional[float] = None,
+                **kwargs) -> float:
         """Synchronous single prediction through the micro-batching queue."""
-        return float(self.submit(source, platform, **kwargs).result())
+        deadline = self._absolute_deadline(deadline_s)
+        future = self.submit(source, platform, deadline_s=deadline_s, **kwargs)
+        return float(self._await_future(future, deadline))
 
     def predict_batch(self, sources: Sequence, platform, *, sizes=None,
                       num_teams: int = 64, num_threads: int = 64,
-                      snippet: bool = False, dtype=np.float32) -> np.ndarray:
+                      snippet: bool = False, dtype=np.float32,
+                      deadline_s: Optional[float] = None) -> np.ndarray:
         """Predict runtimes (µs) for a batch of sources on one platform.
 
         The request list is executed as **one job** with its composition
@@ -271,19 +435,47 @@ class Server:
 
         specs = [SourceSpec.of(source, sizes=sizes, num_teams=num_teams,
                                num_threads=num_threads) for source in sources]
-        return self.predict_specs(specs, platform, snippet=snippet, dtype=dtype)
+        return self.predict_specs(specs, platform, snippet=snippet,
+                                  dtype=dtype, deadline_s=deadline_s)
 
     def predict_specs(self, specs: Sequence, platform, *, snippet: bool = False,
-                      dtype=np.float32) -> np.ndarray:
+                      dtype=np.float32,
+                      deadline_s: Optional[float] = None) -> np.ndarray:
         """:meth:`predict_batch` over prebuilt ``SourceSpec`` objects."""
         self._checked_open()
         if not specs:
             # honor the serving dtype even for empty batches
             return np.zeros(0, dtype=resolve_result_dtype(dtype))
+        fault_point(SITE_SUBMIT)
+        deadline = self._absolute_deadline(deadline_s)
         key = self._shard_key(platform, snippet, dtype)
+        self._checked_breaker(key)
         if not self._workers:
-            return self._execute(key, list(specs))
-        return self._batcher.enqueue_job(key, list(specs)).result()
+            if deadline is not None and time.monotonic() >= deadline:
+                self._count_deadline_dropped(len(specs))
+                raise DeadlineExceeded(
+                    "batch deadline expired before execution")
+            self._count_inline_executed(len(specs))
+            try:
+                return self._execute_with_retry(key, list(specs), deadline)
+            except Exception:
+                self._count_failures(len(specs))
+                raise
+        future = self._batcher.enqueue_job(key, list(specs), deadline)
+        return self._await_future(future, deadline)
+
+    def _await_future(self, future: "Future", deadline: Optional[float]):
+        """Resolve a queued future, never waiting meaningfully past its
+        deadline (a wedged worker must not translate into a caller hang)."""
+        if deadline is None:
+            return future.result()
+        remaining = max(deadline - time.monotonic(), 0.0)
+        try:
+            return future.result(timeout=remaining + _RESULT_GRACE_S)
+        except FutureTimeoutError:
+            raise DeadlineExceeded(
+                "request deadline expired while awaiting a worker (the "
+                "result, if any, was abandoned)") from None
 
     # ------------------------------------------------------------------ #
     # execution
@@ -304,6 +496,39 @@ class Server:
             self._trainers.setdefault(name, trainer)
         return name
 
+    def _breaker_for(self, key: ShardKey) -> Optional[CircuitBreaker]:
+        if not self.config.breaker_threshold:
+            return None
+        breaker = self._breakers.get(key)
+        if breaker is None:
+            with self._breakers_lock:
+                breaker = self._breakers.setdefault(
+                    key, CircuitBreaker(self.config.breaker_threshold,
+                                        self.config.breaker_reset_s))
+        return breaker
+
+    def _checked_breaker(self, key: ShardKey) -> None:
+        breaker = self._breaker_for(key)
+        if breaker is not None and not breaker.allow():
+            with self._counters_lock:
+                self._breaker_rejections += 1
+            raise CircuitOpenError(
+                f"circuit breaker for shard {key!r} is open after repeated "
+                f"failures; retrying after {self.config.breaker_reset_s:g}s "
+                "admits a trial request")
+
+    def _count_failures(self, n: int) -> None:
+        with self._counters_lock:
+            self._failures += n
+
+    def _count_deadline_dropped(self, n: int) -> None:
+        with self._counters_lock:
+            self._deadline_dropped += n
+
+    def _count_inline_executed(self, n: int) -> None:
+        with self._counters_lock:
+            self._inline_executed += n
+
     def _execute(self, key: ShardKey, specs: List) -> np.ndarray:
         """Run one batch end to end: cached encode + batched GNN forward."""
         from ..api.pipeline import Pipeline
@@ -313,32 +538,101 @@ class Server:
         dtype = None if key.dtype is None else np.dtype(key.dtype)
         with serving_scope():
             encoded = self._session._encode_specs(specs, snippet=key.snippet)
+            fault_point(SITE_FORWARD)
             context = Pipeline([PredictStage(dtype=dtype)]).run(
                 encoded=encoded, trainer=trainer)
         return context["predictions"]
 
-    def _run_item(self, item: WorkItem) -> None:
+    def _execute_with_retry(self, key: ShardKey, specs: List,
+                            deadline: Optional[float] = None) -> np.ndarray:
+        """One batch through the retry/breaker layer.
+
+        Transient failures re-attempt under the policy and the server-wide
+        budget; every outcome feeds the shard's circuit breaker — except
+        :class:`DeadlineExceeded`, which reports the *caller's* budget, not
+        the shard's health.
+        """
+        breaker = self._breaker_for(key)
+
+        def on_retry(error: BaseException, attempt: int) -> None:
+            with self._counters_lock:
+                self._retries += 1
+
         try:
-            values = self._execute(item.key, item.specs)
+            values = call_with_retry(
+                lambda: self._execute(key, specs),
+                policy=self._retry_policy,
+                budget=self._retry_budget,
+                deadline=deadline,
+                on_retry=on_retry)
+        except Exception as error:
+            if breaker is not None and not isinstance(error, DeadlineExceeded):
+                breaker.record_failure()
+            raise
+        if breaker is not None:
+            breaker.record_success()
+        return values
+
+    def _run_item(self, item: WorkItem) -> None:
+        # deadlines are re-checked at execution time: a request that expired
+        # between dequeue and here must not burn a forward
+        now = time.monotonic()
+        if item.kind == "job":
+            deadline = item.deadlines[0]
+            if deadline is not None and deadline <= now:
+                self._count_deadline_dropped(len(item.specs))
+                item.futures[0].set_exception(DeadlineExceeded(
+                    "batch deadline expired before execution"))
+                return
+            specs, futures, deadlines = item.specs, item.futures, item.deadlines
+        else:
+            specs, futures, deadlines = [], [], []
+            for spec, future, spec_deadline in zip(item.specs, item.futures,
+                                                   item.deadlines):
+                if spec_deadline is not None and spec_deadline <= now:
+                    self._count_deadline_dropped(1)
+                    future.set_exception(DeadlineExceeded(
+                        "request deadline expired before execution"))
+                else:
+                    specs.append(spec)
+                    futures.append(future)
+                    deadlines.append(spec_deadline)
+            if not specs:
+                return
+        batch_deadline = None
+        live_deadlines = [d for d in deadlines if d is not None]
+        if item.kind == "job":
+            batch_deadline = item.deadlines[0]
+        elif live_deadlines and len(live_deadlines) == len(deadlines):
+            # only bound the whole batch when *every* request is bounded —
+            # one short deadline must not time out its unbounded neighbours
+            batch_deadline = min(live_deadlines)
+        try:
+            fault_point(SITE_WORKER)
+            values = self._execute_with_retry(item.key, specs, batch_deadline)
         except BaseException as error:  # noqa: BLE001 - delivered to futures
-            if item.kind == "singles" and len(item.specs) > 1:
+            if item.kind == "singles" and len(specs) > 1:
                 # a poisoned request must not fail its batch neighbours:
                 # retry the coalesced singles individually
-                for spec, future in zip(item.specs, item.futures):
+                for spec, future, spec_deadline in zip(specs, futures,
+                                                       deadlines):
                     try:
-                        value = float(self._execute(item.key, [spec])[0])
+                        value = float(self._execute_with_retry(
+                            item.key, [spec], spec_deadline)[0])
                     except BaseException as single_error:  # noqa: BLE001
+                        self._count_failures(1)
                         future.set_exception(single_error)
                     else:
                         future.set_result(value)
                 return
-            for future in item.futures:
+            self._count_failures(len(specs))
+            for future in futures:
                 future.set_exception(error)
             return
         if item.kind == "job":
-            item.futures[0].set_result(np.asarray(values))
+            futures[0].set_result(np.asarray(values))
         else:
-            for future, value in zip(item.futures, values):
+            for future, value in zip(futures, values):
                 future.set_result(float(value))
 
     # ------------------------------------------------------------------ #
@@ -348,11 +642,17 @@ class Server:
         # the worker path gets this from MicroBatcher.stop(); the inline
         # path must enforce the same "closed servers reject work" contract
         if self._closed:
-            raise RuntimeError(SHUTDOWN_MESSAGE)
+            raise ServerClosedError(SHUTDOWN_MESSAGE)
 
     def drain(self, timeout: Optional[float] = None) -> bool:
-        """Block until every queued request has finished executing."""
-        if not self._workers:
+        """Block until every queued request has finished executing.
+
+        Returns ``True`` when the queue went idle, ``False`` when *timeout*
+        expired first — promptly, even if a worker is wedged mid-batch.
+        Draining a closed (or never-pooled) server is well-defined and
+        returns ``True`` immediately: close() already drained the queue.
+        """
+        if not self._workers or self._closed:
             return True
         return self._batcher.wait_idle(timeout)
 
@@ -377,11 +677,65 @@ class Server:
         return self._session
 
     def stats(self) -> ServerStats:
-        """Queue/coalescing accounting (all-zero until traffic arrives),
-        plus whether the model set was warm-started from an artifact."""
-        return ServerStats.of(self.config.num_workers, self._batcher.stats(),
-                              bool(getattr(self._session, "warm_started",
-                                           False)))
+        """Queue/coalescing/reliability accounting (all-zero until traffic
+        arrives), plus whether the model set was warm-started."""
+        with self._counters_lock:
+            failures = self._failures
+            retries = self._retries
+            breaker_rejections = self._breaker_rejections
+            deadline_dropped = self._deadline_dropped
+            inline_executed = self._inline_executed
+        breakers_open = sum(1 for breaker in list(self._breakers.values())
+                            if breaker.state == "open")
+        return ServerStats.of(
+            self.config.num_workers, self._batcher.stats(),
+            bool(getattr(self._session, "warm_started", False)),
+            deadline_dropped=deadline_dropped,
+            inline_executed=inline_executed,
+            failures=failures,
+            retries=retries,
+            breaker_rejections=breaker_rejections,
+            breakers_open=breakers_open,
+            queue_depth=self._batcher.pending())
+
+    def healthz(self) -> dict:
+        """Liveness/degradation snapshot (the future gateway's health page).
+
+        ``status`` is ``"ok"`` (serving normally), ``"degraded"`` (serving,
+        but at least one shard's breaker is open) or ``"closed"``.
+        """
+        stats = self.stats()
+        breakers = {
+            f"{key.platform}"
+            f"[{'snippet' if key.snippet else 'full'},"
+            f"{key.dtype or 'float64'}]": breaker.state
+            for key, breaker in sorted(
+                self._breakers.items(),
+                # dtype is None for float64 shards: sort on a str surrogate
+                key=lambda kv: (kv[0].platform, kv[0].snippet,
+                                kv[0].dtype or ""))}
+        if self._closed:
+            status = "closed"
+        elif stats.breakers_open:
+            status = "degraded"
+        else:
+            status = "ok"
+        executed = stats.requests_executed
+        return {
+            "status": status,
+            "num_workers": stats.num_workers,
+            "queue_depth": stats.queue_depth,
+            "requests_executed": executed,
+            "failures": stats.failures,
+            "error_rate": stats.failures / executed if executed else 0.0,
+            "retries": stats.retries,
+            "shed": stats.shed,
+            "deadline_expired": stats.deadline_expired,
+            "breaker_rejections": stats.breaker_rejections,
+            "breakers": breakers,
+            "retry_budget_tokens": self._retry_budget.tokens,
+            "warm_started": stats.warm_started,
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return (f"Server(workers={self.config.num_workers}, "

@@ -35,6 +35,7 @@ from typing import Dict, List, Mapping, Optional, Tuple
 import numpy as np
 
 from ..ml.scaler import scaler_from_dict
+from ..reliability.faults import SITE_STORE_READ, SITE_STORE_WRITE, fault_point
 from .manifest import (
     CorruptArtifactError,
     MANIFEST_NAME,
@@ -186,9 +187,14 @@ def _write_weights(path: str, slug: str, state: Mapping[str, np.ndarray]) -> Tup
     buffer = io.BytesIO()
     np.savez(buffer, **dict(state))
     raw = buffer.getvalue()
+    digest = hashlib.sha256(raw).hexdigest()
+    # chaos hook *after* hashing: an injected write corruption lands on
+    # disk with a now-stale recorded checksum, exactly like a real torn
+    # write — verify/load catches it, nothing silently survives
+    raw = fault_point(SITE_STORE_WRITE, raw)
     with open(target, "wb") as handle:
         handle.write(raw)
-    return relative, hashlib.sha256(raw).hexdigest()
+    return relative, digest
 
 
 def _staged_save(path: str, overwrite: bool, write_payloads) -> str:
@@ -415,6 +421,9 @@ def _load_state(path: str, entry: Mapping, verify: bool) -> Dict[str, np.ndarray
         raise CorruptArtifactError(
             f"manifest field 'models[{entry['name']!r}].weights': cannot "
             f"read payload {entry['weights']!r}: {error}") from error
+    # chaos hook before the checksum: injected read corruption (bit rot,
+    # torn page) must be caught by the verify path below
+    raw = fault_point(SITE_STORE_READ, raw)
     if verify:
         actual = hashlib.sha256(raw).hexdigest()
         if actual != entry["sha256"]:

@@ -15,6 +15,15 @@ frozen set of weights, while serving deployments follow
 versions on republish.  Publishing is atomic enough for the single-writer
 case this repo needs: the artifact is fully written before ``LATEST``
 flips.
+
+Loading degrades gracefully (see STORE.md "Corrupt artifacts"): when the
+resolved artifact fails to verify/load, :meth:`ModelRegistry.load` — by
+default — **quarantines** the bad version (renamed to a
+``<version>.quarantine.<suffix>`` directory, out of ``versions()``) and
+falls back to the newest remaining version that passes
+:func:`~repro.store.artifact.verify_artifact`, repointing ``LATEST`` if
+it named the quarantined version.  ``fallback=False`` restores strict
+fail-fast loading.
 """
 
 from __future__ import annotations
@@ -22,6 +31,7 @@ from __future__ import annotations
 import os
 import re
 import shutil
+import warnings
 from typing import List, Optional, Tuple
 
 from .artifact import _unique_suffix, load_session, save_session, verify_artifact
@@ -55,6 +65,10 @@ def _check_version(value: str) -> str:
         raise StoreError(
             f"invalid version {value!r}: '.staging.' names are reserved "
             "for in-flight publishes")
+    if ".quarantine." in value:
+        raise StoreError(
+            f"invalid version {value!r}: '.quarantine.' names are reserved "
+            "for corrupt versions set aside by fallback loading")
     return value
 
 
@@ -124,8 +138,20 @@ class ModelRegistry:
         return sorted(
             (entry for entry in os.listdir(directory)
              if os.path.isdir(os.path.join(directory, entry))
-             and entry != LATEST_FILE and ".staging." not in entry),
+             and entry != LATEST_FILE and ".staging." not in entry
+             and ".quarantine." not in entry),
             key=sort_key)
+
+    def quarantined(self, name: str) -> List[str]:
+        """Quarantined version directories of *name* (corrupt artifacts set
+        aside by fallback loading; inspect, repair or delete by hand)."""
+        directory = os.path.join(self.root, _check_slug(name, "model name"))
+        if not os.path.isdir(directory):
+            return []
+        return sorted(
+            entry for entry in os.listdir(directory)
+            if os.path.isdir(os.path.join(directory, entry))
+            and ".quarantine." in entry)
 
     def latest(self, name: str) -> Optional[str]:
         """The version the ``latest`` pointer currently names (or ``None``)."""
@@ -250,9 +276,80 @@ class ModelRegistry:
         os.replace(temporary, pointer)
 
     # ------------------------------------------------------------------ #
-    def load(self, ref: str, **load_kwargs):
-        """Resolve *ref* and warm-start a session from the artifact."""
-        return load_session(self.path_for(ref), **load_kwargs)
+    def _quarantine(self, name: str, version: str) -> str:
+        """Move a bad version directory out of the registry's namespace.
+
+        Best-effort: if the rename fails (permissions, concurrent reader on
+        a platform where that blocks renames) the directory stays in place
+        — fallback still works, it just re-verifies the bad version on the
+        next load instead of skipping it."""
+        source = os.path.join(self.root, name, version)
+        target = f"{source}.quarantine.{_unique_suffix()}"
+        try:
+            os.rename(source, target)
+        except OSError:
+            return source
+        return target
+
+    def load(self, ref: str, *, fallback: bool = True, **load_kwargs):
+        """Resolve *ref* and warm-start a session from the artifact.
+
+        With ``fallback=True`` (the default) a resolved artifact that fails
+        to load with a :class:`StoreError` — corrupt payload, tampered
+        manifest, truncated weights — is **quarantined** (its directory is
+        renamed to ``<version>.quarantine.<suffix>``, removing it from
+        :meth:`versions`) and the load falls back to the newest remaining
+        version that passes :func:`verify_artifact`, emitting a
+        ``UserWarning`` naming both versions.  If the ``latest`` pointer
+        named the quarantined version it is repointed at the fallback, so
+        subsequent bare-name loads go straight to the good version.
+
+        Transient infrastructure errors (anything that is not a
+        ``StoreError``, e.g. an injected
+        :class:`~repro.reliability.errors.TransientFaultError`) propagate
+        unchanged and never quarantine: a flaky read is the retry layer's
+        problem, not evidence the artifact is bad.  Resolution errors
+        (unknown name, nothing published) also raise as before.
+
+        ``fallback=False`` restores strict fail-fast loading.
+        """
+        path = self.path_for(ref)
+        if not fallback:
+            return load_session(path, **load_kwargs)
+        try:
+            return load_session(path, **load_kwargs)
+        except StoreError as error:
+            name, _ = split_ref(ref)
+            bad_version = os.path.basename(path)
+            quarantined_as = self._quarantine(name, bad_version)
+            cause = error
+        candidates = [version for version in reversed(self.versions(name))
+                      if version != bad_version]
+        for candidate in candidates:
+            candidate_path = os.path.join(self.root, name, candidate)
+            if not verify_artifact(candidate_path).ok:
+                continue
+            try:
+                session = load_session(candidate_path, **load_kwargs)
+            except StoreError:
+                continue
+            try:
+                latest = self.latest(name)
+            except StoreError:
+                latest = bad_version    # corrupt pointer: repoint it too
+            if latest is None or latest == bad_version:
+                self.set_latest(name, candidate)
+            warnings.warn(
+                f"model {name}@{bad_version} failed to load ({cause}); "
+                f"quarantined it as {os.path.basename(quarantined_as)} and "
+                f"fell back to {name}@{candidate}",
+                UserWarning, stacklevel=2)
+            return session
+        raise StoreError(
+            f"model {name}@{bad_version} failed to load and no remaining "
+            f"version of {name!r} verifies cleanly (bad version quarantined "
+            f"as {os.path.basename(quarantined_as)}); republish a good "
+            f"artifact. Original failure: {cause}") from cause
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return f"ModelRegistry(root={self.root!r}, names={self.names()})"

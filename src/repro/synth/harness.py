@@ -29,7 +29,13 @@ cross-layer invariant checked over many seeded generated cases:
   holding different :class:`repro.nn.InferenceContext` configurations
   (float32 serving, float64 parity, grad-recording training) run
   simultaneously on one shared model and none of the dtype / no-grad /
-  parameter-view state leaks across threads.
+  parameter-view state leaks across threads,
+* ``serve-under-faults`` — the reliability contract: under seeded fault
+  injection (transient forward failures, scheduler/worker delays,
+  admission faults, tight deadlines, a bounded queue) every request
+  either returns a float64 result **bit-identical** to its fault-free
+  reference or raises a typed reliability error — never a hang, never
+  silent corruption.
 
 Every failure reports the integer seed of the offending case;
 ``python -m repro.synth <scenario> <seed>`` replays exactly that case.
@@ -535,6 +541,152 @@ def check_store_roundtrip(seed: int) -> None:
         shutil.rmtree(scratch, ignore_errors=True)
 
 
+def _tiny_serving_stack(seed: int):
+    """A serving-ready session *without training*: random weights, fitted
+    scalers, restored-results installation — the warm-start shape
+    ``load_session`` produces, built in-process so a fault case costs
+    milliseconds, not a training run.  Returns (session, platform, sources).
+    """
+    from ..api.config import DataConfig, ModelConfig, ReproConfig
+    from ..api.registries import resolve_platform
+    from ..api.session import Session
+    from ..ml.dataset import GraphDataset
+    from ..ml.trainer import History, Trainer, TrainingConfig
+    from ..pipeline.workflow import PlatformResult
+
+    rng = np.random.default_rng(seed)
+    platform = resolve_platform("NVIDIA V100")
+    config = ReproConfig(
+        data=DataConfig(platforms=(platform.name,)),
+        model=ModelConfig(hidden_dim=4, conv="rgcn", num_conv_layers=1),
+        training=TrainingConfig(epochs=1, batch_size=8,
+                                seed=int(rng.integers(0, 1000))),
+        seed=int(rng.integers(0, 1000)),
+    )
+    session = Session(config)
+    encoder = config.make_encoder()
+    session.encoder = encoder
+    shapes = GraphGenConfig(num_nodes=(2, 10), feature_dim=encoder.feature_dim)
+    scaler_data = GraphDataset(
+        [random_encoded_graph(seed * 7 + index, shapes) for index in range(3)],
+        name="synth-serve")
+    model = config.model.build(node_feature_dim=encoder.feature_dim,
+                               use_edge_weight=config.graph.use_edge_weight,
+                               seed=config.seed)
+    trainer = Trainer(model, config.training)
+    trainer._fit_scalers(scaler_data)
+    placeholder = GraphDataset(name=platform.name)
+    session._install_restored_results(
+        {platform.name: PlatformResult(
+            platform=platform, dataset=placeholder, train=placeholder,
+            validation=placeholder, trainer=trainer, history=History(),
+            metrics={})},
+        {"name": f"synth-serve-{seed}"})
+    sources = [generate_kernel(seed * 31 + index).source for index in range(3)]
+    return session, platform.name, sources
+
+
+def check_serve_under_faults(seed: int) -> None:
+    """The ``repro.reliability`` contract, differentially tested.
+
+    Seeded plan: a warm-started single-platform session serves a fixed
+    request list twice — once fault-free (the reference) and once inside an
+    :func:`~repro.reliability.inject_faults` scope with seed-chosen
+    transient forward failures, worker/scheduler delays, admission faults,
+    a bounded queue and (some seeds) an already-expired deadline.  The
+    chaos run uses ``num_workers=1, max_batch_size=1`` so execution order —
+    and therefore the per-(site, kind) rng streams — replays by seed.
+
+    Invariant: every request either yields a float64 result bit-identical
+    to its fault-free reference, or raises one of the typed reliability
+    errors.  A future that does not resolve within the harness timeout is
+    a hang — an immediate failure — and an untyped error or a drifted
+    result is silent corruption.
+    """
+    from concurrent.futures import TimeoutError as FutureTimeout
+
+    from ..reliability import (
+        CircuitOpenError,
+        DeadlineExceeded,
+        FaultPlan,
+        FaultSpec,
+        ServerOverloaded,
+        TransientFaultError,
+        inject_faults,
+    )
+    from ..serve import Server, ServerConfig
+
+    rng = np.random.default_rng(seed)
+    session, platform, sources = _tiny_serving_stack(seed)
+    typed = (DeadlineExceeded, ServerOverloaded, CircuitOpenError,
+             TransientFaultError)
+
+    # fault-free float64 references (inline server: same execution path)
+    clean = Server(session, ServerConfig(num_workers=0, max_retries=0,
+                                         breaker_threshold=0))
+    references = [float(clean.predict_batch([source], platform, dtype=None)[0])
+                  for source in sources]
+    reference_batch = clean.predict_batch(sources, platform, dtype=None)
+
+    menu = [
+        FaultSpec("engine.forward", "raise",
+                  float(rng.uniform(0.1, 0.5))),
+        FaultSpec("serve.worker", "delay",
+                  float(rng.uniform(0.1, 0.6)),
+                  delay_s=float(rng.uniform(0.001, 0.003))),
+        FaultSpec("serve.schedule", "delay",
+                  float(rng.uniform(0.1, 0.4)),
+                  delay_s=float(rng.uniform(0.001, 0.002))),
+        FaultSpec("serve.submit", "raise",
+                  float(rng.uniform(0.05, 0.3))),
+    ]
+    picked = [spec for spec in menu if rng.random() < 0.75] or [menu[0]]
+    expire_one = bool(rng.integers(0, 2))
+    config = ServerConfig(num_workers=1, max_batch_size=1, batch_window_s=0.0,
+                          default_deadline_s=5.0, max_queue_depth=8,
+                          max_retries=2, retry_backoff_s=0.001,
+                          breaker_threshold=4, breaker_reset_s=0.05)
+
+    with inject_faults(FaultPlan(seed, picked)):
+        server = Server(session, config)
+        try:
+            pending = []
+            for index, source in enumerate(sources):
+                deadline_s = 0.0 if expire_one and index == 0 else None
+                try:
+                    future = server.submit(source, platform, dtype=None,
+                                           deadline_s=deadline_s)
+                except typed:
+                    continue        # typed admission rejection: allowed
+                pending.append((index, future))
+            for index, future in pending:
+                # note the order: DeadlineExceeded *is* a TimeoutError (and
+                # py3.11 aliases concurrent.futures.TimeoutError to it), so
+                # typed errors must be recognised before the hang detector
+                try:
+                    value = future.result(timeout=10.0)
+                except typed:
+                    continue        # typed failure: allowed
+                except FutureTimeout:
+                    raise AssertionError(
+                        f"request {index} hung under fault injection "
+                        "(future unresolved after 10s)")
+                assert float(value) == references[index], (
+                    f"request {index} silently corrupted: got {value!r}, "
+                    f"fault-free reference {references[index]!r}")
+            try:
+                batch = server.predict_batch(sources, platform, dtype=None,
+                                             deadline_s=5.0)
+            except typed:
+                pass
+            else:
+                np.testing.assert_array_equal(
+                    batch, reference_batch,
+                    err_msg="whole-job batch silently corrupted under faults")
+        finally:
+            server.close()
+
+
 def check_analysis_planted_defects(seed: int) -> None:
     """Score the static-analysis checkers against planted ground truth.
 
@@ -639,6 +791,7 @@ _register("pooling-paths", check_pooling_paths, 16, "gnn")
 _register("config-roundtrip", check_config_roundtrip, 16, "api")
 _register("store-roundtrip", check_store_roundtrip, 6, "store")
 _register("serving-context-isolation", check_context_isolation, 6, "serve")
+_register("serve-under-faults", check_serve_under_faults, 50, "reliability")
 _register("analysis-planted-defects", check_analysis_planted_defects, 20,
           "analysis")
 

@@ -106,6 +106,16 @@ class TestContextIsolation:
         assert report.ok and report.cases >= 2
 
 
+class TestServeUnderFaults:
+    """Seeded chaos sweep: under fault injection every request either
+    returns a float64 result bit-identical to the fault-free reference or
+    a typed reliability error — never a hang, never silent corruption."""
+
+    def test_serve_under_faults_corpus(self):
+        report = run_cases("serve-under-faults")
+        assert report.ok and report.cases >= 2
+
+
 class TestInvalidStageDicts:
     """ReproConfig.from_dict must reject bad stage payloads (satellite #4)."""
 

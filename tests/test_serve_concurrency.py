@@ -248,6 +248,138 @@ class TestLifecycle:
             server.submit(requests[0], PLATFORM)
 
 
+class TestTypedShutdownErrors:
+    """Post-close use raises ServerClosedError (a RuntimeError subclass, so
+    the historical ``pytest.raises(RuntimeError, match="shut down")`` tests
+    above keep passing unchanged)."""
+
+    def test_pooled_server_raises_typed_error_after_close(
+            self, session, requests):
+        from repro.serve import ServerClosedError
+
+        server = Server(session, ServerConfig(num_workers=1))
+        server.close()
+        with pytest.raises(ServerClosedError):
+            server.submit(requests[0], PLATFORM)
+        with pytest.raises(ServerClosedError):
+            server.predict(requests[0], PLATFORM)
+        with pytest.raises(ServerClosedError):
+            server.predict_batch(requests[:2], PLATFORM)
+
+    def test_inline_server_raises_typed_error_after_close(
+            self, session, requests):
+        from repro.serve import ServerClosedError
+
+        server = Server(session, ServerConfig())       # num_workers=0
+        server.close()
+        with pytest.raises(ServerClosedError):
+            server.submit(requests[0], PLATFORM)
+        with pytest.raises(ServerClosedError):
+            server.predict_batch(requests[:2], PLATFORM)
+
+    def test_drain_after_close_is_well_defined(self, session, requests):
+        server = Server(session, ServerConfig(num_workers=1))
+        server.predict(requests[0], PLATFORM)
+        server.close()
+        assert server.drain(timeout=1.0) is True    # nothing left to drain
+        inline = Server(session, ServerConfig())
+        inline.close()
+        assert inline.drain(timeout=1.0) is True
+
+
+class TestWedgedWorkerTimeouts:
+    """wait_idle/drain must return False promptly when work is stuck —
+    a wedged worker translates into a bounded False, not a caller hang."""
+
+    def test_wait_idle_returns_false_in_bounded_time(self):
+        import time
+
+        from repro.serve import MicroBatcher, ShardKey
+
+        batcher = MicroBatcher(max_batch_size=4, batch_window_s=0.0)
+        key = ShardKey("platform", False, None)
+        batcher.enqueue_single(key, "stuck")
+        item = batcher.next_batch()        # a "worker" takes the item ...
+        assert item is not None            # ... and never calls task_done()
+        start = time.monotonic()
+        assert batcher.wait_idle(timeout=0.2) is False
+        elapsed = time.monotonic() - start
+        assert elapsed < 1.0, f"wait_idle overshot its timeout: {elapsed:.2f}s"
+        assert batcher.wait_idle(timeout=0) is False   # poll form
+        batcher.task_done()
+        assert batcher.wait_idle(timeout=1.0) is True
+
+    def test_drain_timeout_with_wedged_worker(self, session, requests):
+        import time
+
+        from repro.reliability import FaultPlan, FaultSpec, inject_faults
+        from repro.reliability.faults import SITE_WORKER
+
+        plan = FaultPlan(41, [FaultSpec(SITE_WORKER, "delay", 1.0,
+                                        delay_s=1.0)])
+        config = ServerConfig(num_workers=1, max_batch_size=1,
+                              batch_window_s=0.0)
+        with inject_faults(plan):
+            with Server(session, config) as server:
+                future = server.submit(requests[0], PLATFORM)
+                start = time.monotonic()
+                assert server.drain(timeout=0.1) is False
+                assert time.monotonic() - start < 0.9
+                assert np.isfinite(future.result(timeout=30))
+
+
+class TestPoisonedBatchRetryPath:
+    """The poisoned-batch splitter re-runs singles through the retry layer:
+    neighbours still succeed, the poisoned request surfaces its *original*
+    exception, and deterministic failures are not retried."""
+
+    def test_neighbours_succeed_and_original_error_surfaces(
+            self, session, requests, reference):
+        from repro.clang.parser import ParseError
+
+        config = ServerConfig(num_workers=1, max_batch_size=8,
+                              batch_window_s=0.05)
+        with Server(session, config) as server:
+            good = [server.submit(spec, PLATFORM, dtype=None)
+                    for spec in requests[:3]]
+            bad = server.submit("this is } not C {", PLATFORM, dtype=None)
+            # coalesced singles match to BLAS rounding (bit-identity is the
+            # predict_batch job contract, not the coalescing one)
+            for index, future in enumerate(good):
+                np.testing.assert_allclose(future.result(timeout=30),
+                                           reference["float64"][index],
+                                           rtol=1e-12)
+            with pytest.raises(ParseError):
+                bad.result(timeout=30)
+            stats = server.stats()
+            assert stats.failures == 1
+            assert stats.retries == 0, \
+                "a deterministic parse error must not be retried"
+
+    def test_transient_neighbour_faults_recover_in_batch(
+            self, session, requests, reference):
+        from repro.reliability import FaultPlan, FaultSpec, inject_faults
+        from repro.reliability.faults import SITE_FORWARD
+
+        # the whole batch fails its first forward, gets split, and each
+        # single then succeeds (possibly after its own retry)
+        plan = FaultPlan(43, [FaultSpec(SITE_FORWARD, "raise", 1.0,
+                                        max_fires=1)])
+        config = ServerConfig(num_workers=1, max_batch_size=8,
+                              batch_window_s=0.05, max_retries=2,
+                              retry_backoff_s=0.0)
+        with inject_faults(plan):
+            with Server(session, config) as server:
+                futures = [server.submit(spec, PLATFORM, dtype=None)
+                           for spec in requests[:3]]
+                for index, future in enumerate(futures):
+                    np.testing.assert_allclose(future.result(timeout=30),
+                                               reference["float64"][index],
+                                               rtol=1e-12)
+                assert server.stats().retries >= 1
+                assert server.stats().failures == 0
+
+
 class TestSessionFacadeSatellites:
     def test_empty_batch_honors_serving_dtype(self, session):
         assert session.predict_batch([], PLATFORM).dtype == np.float32

@@ -769,6 +769,90 @@ class TestModelRegistry:
         assert registry.path_for(ref).endswith("v1")
 
 
+class TestRegistryFallback:
+    """Corrupt-artifact degradation: ``load`` quarantines the bad version
+    and falls back to the previous good one instead of failing the serving
+    deployment (STORE.md "Corrupt artifacts")."""
+
+    @staticmethod
+    def _corrupt_weights(registry, name, version):
+        weights = os.path.join(registry.root, name, version, "weights",
+                               "nvidia-v100.npz")
+        with open(weights, "ab") as handle:
+            handle.write(b"trailing garbage")
+
+    @pytest.fixture()
+    def two_versions(self, trained_session, tmp_path):
+        registry = ModelRegistry(str(tmp_path / "registry"))
+        registry.publish("paragraph", trained_session)    # v1 (good)
+        registry.publish("paragraph", trained_session)    # v2 (latest)
+        reference = trained_session.predict_batch(SOURCES, PLATFORM,
+                                                  dtype=None)
+        return registry, reference
+
+    def test_latest_falls_back_to_previous_good_version(self, two_versions):
+        registry, reference = two_versions
+        self._corrupt_weights(registry, "paragraph", "v2")
+        with pytest.warns(UserWarning, match="fell back to paragraph@v1"):
+            loaded = registry.load("paragraph")
+        try:
+            np.testing.assert_array_equal(
+                loaded.predict_batch(SOURCES, PLATFORM, dtype=None),
+                reference)
+        finally:
+            loaded.close()
+        # the bad version is out of the way, not deleted
+        assert registry.versions("paragraph") == ["v1"]
+        quarantined = registry.quarantined("paragraph")
+        assert len(quarantined) == 1
+        assert quarantined[0].startswith("v2.quarantine.")
+        # LATEST no longer points at the quarantined version
+        assert registry.latest("paragraph") == "v1"
+        assert registry.path_for("paragraph").endswith("v1")
+
+    def test_pinned_load_falls_back_too(self, two_versions):
+        registry, reference = two_versions
+        self._corrupt_weights(registry, "paragraph", "v2")
+        with pytest.warns(UserWarning, match="quarantined"):
+            loaded = registry.load("paragraph@v2")
+        try:
+            np.testing.assert_array_equal(
+                loaded.predict_batch(SOURCES, PLATFORM, dtype=None),
+                reference)
+        finally:
+            loaded.close()
+
+    def test_fallback_false_fails_fast(self, two_versions):
+        registry, _ = two_versions
+        self._corrupt_weights(registry, "paragraph", "v2")
+        with pytest.raises(CorruptArtifactError, match="checksum"):
+            registry.load("paragraph", fallback=False)
+        # strict mode quarantines nothing
+        assert registry.versions("paragraph") == ["v1", "v2"]
+        assert registry.quarantined("paragraph") == []
+
+    def test_no_good_version_left_raises(self, two_versions):
+        registry, _ = two_versions
+        self._corrupt_weights(registry, "paragraph", "v1")
+        self._corrupt_weights(registry, "paragraph", "v2")
+        with pytest.raises(StoreError, match="no remaining version"):
+            registry.load("paragraph")
+
+    def test_quarantine_names_are_reserved(self, trained_session, tmp_path):
+        registry = ModelRegistry(str(tmp_path / "registry"))
+        with pytest.raises(StoreError, match="quarantine"):
+            registry.publish("m", trained_session,
+                             version="v1.quarantine.bad")
+        registry.publish("m", trained_session)
+        with pytest.raises(StoreError, match="reserved"):
+            registry.path_for("m@v1.quarantine.x")
+
+    def test_resolution_errors_do_not_trigger_fallback(self, tmp_path):
+        registry = ModelRegistry(str(tmp_path / "registry"))
+        with pytest.raises(StoreError, match="nothing published"):
+            registry.load("ghost")
+
+
 # --------------------------------------------------------------------- #
 # COMPOFF coefficients as artifacts
 # --------------------------------------------------------------------- #
