@@ -7,9 +7,11 @@ file per benchmark session (``results_<timestamp>.txt``), so repeated runs
 never append to — or silently grow — a single shared file.
 
 Performance benchmarks additionally persist machine-readable numbers with
-:func:`report_json` (``benchmarks/BENCH_<tag>.json``).  Those JSON records
-are the only *tracked* benchmark outputs: CI jobs and later PRs diff
-timings against them without parsing the text reports.
+:func:`report_json`.  By default those land under ``benchmarks/out/`` too —
+an ordinary benchmark run must never dirty the working tree — and only an
+explicit ``REPRO_BENCH_RECORD=1`` run updates the *tracked*
+``benchmarks/BENCH_<tag>.json`` records that CI jobs and later PRs diff
+timings against.
 """
 
 import json
@@ -47,13 +49,25 @@ def report(text: str) -> None:
         handle.write(text + "\n\n")
 
 
+def record_enabled() -> bool:
+    """Whether this run updates the tracked ``benchmarks/BENCH_*.json``."""
+    return os.environ.get("REPRO_BENCH_RECORD", "").strip() not in {"", "0"}
+
+
 def report_json(filename: str, payload: dict) -> str:
-    """Write *payload* as pretty JSON under ``benchmarks/``; returns the path.
+    """Write *payload* as pretty JSON; returns the path written.
 
     ``filename`` is conventionally ``BENCH_<tag>.json`` (e.g. ``BENCH_pr2.json``
-    for the GNN-forward micro-benchmark) — the tracked, diffable record.
+    for the GNN-forward micro-benchmark).  The default destination is the
+    git-ignored ``benchmarks/out/`` directory; set ``REPRO_BENCH_RECORD=1``
+    to update the tracked record under ``benchmarks/`` instead (the one CI
+    and later PRs diff against).
     """
-    path = os.path.join(os.path.dirname(__file__), filename)
+    if record_enabled():
+        path = os.path.join(os.path.dirname(__file__), filename)
+    else:
+        os.makedirs(OUT_DIR, exist_ok=True)
+        path = os.path.join(OUT_DIR, filename)
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")

@@ -241,14 +241,27 @@ class PredictStage(Stage):
     parity with training-time evaluation, ``numpy.float32`` runs the serving
     fast path (no autodiff graph, float32 kernels) — see
     :meth:`repro.ml.trainer.Trainer.predict`.
+
+    *packed* routes the whole request list through one block-diagonal
+    packed forward (:meth:`repro.ml.trainer.Trainer.predict_packed`) —
+    the serving configuration — instead of the per-batch dataset loop.
+    Trainers (or registered models) without a packed kernel transparently
+    fall back to the loop either way.
     """
 
     requires = ("encoded", "trainer")
     provides = ("predictions",)
 
-    def __init__(self, dtype=None) -> None:
+    def __init__(self, dtype=None, packed: bool = False) -> None:
         self.dtype = dtype
+        self.packed = packed
 
     def run(self, context) -> None:
-        dataset = GraphDataset(list(context["encoded"]), name="predict")
-        context["predictions"] = context["trainer"].predict(dataset, dtype=self.dtype)
+        trainer = context["trainer"]
+        encoded = list(context["encoded"])
+        if self.packed and hasattr(trainer, "predict_packed"):
+            context["predictions"] = trainer.predict_packed(encoded,
+                                                            dtype=self.dtype)
+            return
+        dataset = GraphDataset(encoded, name="predict")
+        context["predictions"] = trainer.predict(dataset, dtype=self.dtype)

@@ -10,6 +10,11 @@ validated and sorted once per distinct graph), and ``RGATConv`` additionally
 carries a fused pure-NumPy kernel that serves ``no_grad`` forwards; the seed
 per-relation-loop implementations survive as ``forward_reference`` for the
 parity regression tests and ``benchmarks/test_perf_gnn_forward.py``.
+
+:mod:`repro.gnn.packing` packs many graphs into one block-diagonal
+``PackedLayout`` so a whole serving micro-batch costs a single fused
+forward (``ParaGraphModel.predict_packed``) that is float64 bit-identical
+to predicting each graph alone.
 """
 
 from .edge_layout import (
@@ -17,6 +22,7 @@ from .edge_layout import (
     RelationalEdgeLayout,
     edge_layout_cache_info,
     get_edge_layout,
+    layout_content_key,
 )
 from .gat import GATConv
 from .message_passing import (
@@ -26,11 +32,22 @@ from .message_passing import (
     validate_edge_index,
 )
 from .models import COMPOFFStyleMLP, ParaGraphModel
+from .packing import (
+    PACK_NODE_BUDGET,
+    PackedBatch,
+    PackedLayout,
+    PackedLayoutCache,
+    merge_layouts,
+    pack_graphs,
+    packed_layout_cache_info,
+    split_packs,
+)
 from .pooling import (
     global_max_pool,
     global_mean_max_pool,
     global_mean_pool,
     global_sum_pool,
+    packed_readout,
 )
 from .rgat import RGATConv
 from .rgcn import RGCNConv
@@ -38,8 +55,12 @@ from .rgcn import RGCNConv
 __all__ = [
     "COMPOFFStyleMLP",
     "EdgeLayoutCache",
+    "PACK_NODE_BUDGET",
     "GATConv",
     "MessagePassing",
+    "PackedBatch",
+    "PackedLayout",
+    "PackedLayoutCache",
     "ParaGraphModel",
     "RGATConv",
     "RGCNConv",
@@ -52,5 +73,11 @@ __all__ = [
     "global_mean_max_pool",
     "global_mean_pool",
     "global_sum_pool",
+    "layout_content_key",
+    "merge_layouts",
+    "pack_graphs",
+    "packed_layout_cache_info",
+    "packed_readout",
+    "split_packs",
     "validate_edge_index",
 ]

@@ -40,6 +40,7 @@ __all__ = [
     "RelationalEdgeLayout",
     "edge_layout_cache_info",
     "get_edge_layout",
+    "layout_content_key",
 ]
 
 
@@ -224,6 +225,17 @@ class EdgeLayoutCache:
     def get(self, edge_index: np.ndarray, edge_type: Optional[np.ndarray],
             num_nodes: int, num_relations: int) -> RelationalEdgeLayout:
         key = self._key(edge_index, edge_type, num_nodes, num_relations)
+        return self.get_keyed(key, edge_index, edge_type, num_nodes,
+                              num_relations)
+
+    def get_keyed(self, key: bytes, edge_index: np.ndarray,
+                  edge_type: Optional[np.ndarray], num_nodes: int,
+                  num_relations: int) -> RelationalEdgeLayout:
+        """Lookup with a precomputed :func:`layout_content_key` digest.
+
+        Callers that need the digest anyway (the packed-layout keyspace
+        composes per-graph keys) hash the edge arrays once instead of twice.
+        """
         with self._lock:
             layout = self._entries.get(key)
             if layout is not None:
@@ -262,12 +274,32 @@ _GLOBAL_CACHE = EdgeLayoutCache(capacity=128)
 
 def get_edge_layout(edge_index: np.ndarray, edge_type: Optional[np.ndarray],
                     num_nodes: int, num_relations: int,
-                    cache: Optional[EdgeLayoutCache] = None) -> RelationalEdgeLayout:
-    """Fetch (or build) the layout for a graph through an LRU cache."""
+                    cache: Optional[EdgeLayoutCache] = None,
+                    key: Optional[bytes] = None) -> RelationalEdgeLayout:
+    """Fetch (or build) the layout for a graph through an LRU cache.
+
+    *key*, when given, must be the graph's :func:`layout_content_key` — it
+    skips re-hashing the edge arrays for callers that computed it already.
+    """
     cache = _GLOBAL_CACHE if cache is None else cache
+    if key is not None:
+        return cache.get_keyed(key, edge_index, edge_type, num_nodes,
+                               num_relations)
     return cache.get(edge_index, edge_type, num_nodes, num_relations)
 
 
 def edge_layout_cache_info() -> CacheInfo:
     """Hit/miss statistics of the process-wide layout cache."""
     return _GLOBAL_CACHE.info()
+
+
+def layout_content_key(edge_index: np.ndarray, edge_type: Optional[np.ndarray],
+                       num_nodes: int, num_relations: int) -> bytes:
+    """The content digest one graph's layout is cached under.
+
+    Exposed so other cache keyspaces (e.g. the packed-layout cache in
+    :mod:`repro.gnn.packing`) can compose per-graph identities without
+    re-deriving the hashing scheme — two graphs share a key exactly when
+    they would share a cached layout.
+    """
+    return EdgeLayoutCache._key(edge_index, edge_type, num_nodes, num_relations)

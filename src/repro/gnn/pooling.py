@@ -83,3 +83,40 @@ def global_mean_max_pool(x: Tensor, batch: np.ndarray, num_graphs: int) -> Tenso
         [global_mean_pool(x, batch, num_graphs), global_max_pool(x, batch, num_graphs)],
         axis=1,
     )
+
+
+def packed_readout(data: np.ndarray, batch: np.ndarray, num_graphs: int,
+                   readout: str) -> np.ndarray:
+    """Raw-array graph readout over a packed (sorted) batch vector.
+
+    Mirrors the inference paths of the pools above operation for operation —
+    ``reduceat`` over contiguous per-graph segments, the same count clamp for
+    the mean — so pooling a packed multi-graph batch is bit-identical to
+    pooling each graph alone: ``reduceat`` results don't depend on where a
+    segment sits in the stacked array.  *readout* is one of ``"mean"``,
+    ``"sum"`` or ``"mean_max"`` (the :class:`~repro.gnn.models.ParaGraphModel`
+    readouts).
+    """
+    if readout not in {"mean", "sum", "mean_max"}:
+        raise ValueError(f"unknown readout {readout!r}")
+    if batch.size == 0:
+        width = data.shape[1] * (2 if readout == "mean_max" else 1)
+        return np.zeros((num_graphs, width), dtype=data.dtype)
+    # the packed batch vector is sorted by construction, so the segment
+    # starts are computed once and shared by every reduction; segment
+    # lengths are exact small integers, so deriving the counts from them
+    # divides out bit-identically to the pools' accumulated `add.at`
+    starts = np.concatenate([[0], np.flatnonzero(np.diff(batch)) + 1])
+    index = batch[starts]
+    sums = np.zeros((num_graphs, data.shape[1]), dtype=data.dtype)
+    sums[index] = np.add.reduceat(data, starts, axis=0)
+    if readout == "sum":
+        return sums
+    counts = np.zeros((num_graphs, 1), dtype=data.dtype)
+    counts[index, 0] = np.append(starts[1:], batch.size) - starts
+    mean = sums / np.maximum(counts, 1.0)
+    if readout == "mean":
+        return mean
+    seg_max = np.zeros((num_graphs, data.shape[1]), dtype=data.dtype)
+    seg_max[index] = np.maximum.reduceat(data, starts, axis=0)
+    return np.concatenate([mean, seg_max], axis=1)

@@ -22,7 +22,7 @@ import numpy as np
 from ..nn import functional as F
 from ..nn import init
 from ..nn.module import Parameter
-from ..nn.tensor import Tensor
+from ..nn.tensor import Tensor, segment_sum_data
 from .edge_layout import RelationalEdgeLayout, get_edge_layout
 from .message_passing import MessagePassing, validate_edge_index
 
@@ -93,6 +93,63 @@ class RGCNConv(MessagePassing):
             messages = messages * Tensor(scale[:, None], dtype=x.data.dtype)
             out = out + messages.scatter_add(dst, num_nodes)
         return out + self.bias
+
+    def forward_packed(self, x: np.ndarray, packed,
+                       edge_weight: Optional[np.ndarray] = None) -> np.ndarray:
+        """Packed-batch kernel over a merged block-diagonal layout.
+
+        Same bit-identity discipline as :meth:`RGATConv.forward_packed`:
+        the root projection, the per-relation message projections and the
+        scatter-add all run per graph with solo shapes (including each
+        graph's own dense/sparse branch decision and the solo
+        ``segment_sum_data`` size threshold), while the per-edge mean/weight
+        scaling runs once over the merged layout.  Inference-only.
+        """
+        layout = packed.layout
+        num_nodes = layout.num_nodes
+        num_edges = layout.num_edges
+        node_offsets = packed.node_offsets
+        root = self.root_weight.data
+        weight = self.weight.data
+        out = np.empty((num_nodes, self.out_channels),
+                       dtype=np.result_type(x, root))
+        for g in range(packed.num_graphs):
+            n0, n1 = int(node_offsets[g]), int(node_offsets[g + 1])
+            np.matmul(x[n0:n1], root, out=out[n0:n1])
+        if num_edges:
+            src, dst = layout.src, layout.dst
+            # chunks partition every graph's edges: each message row is
+            # written exactly once, so the buffer starts uninitialised
+            messages = np.empty((num_edges, self.out_channels),
+                                dtype=np.result_type(x, weight))
+            for g, chunks in enumerate(packed.chunks):
+                if not chunks:
+                    continue
+                n0, n1 = int(node_offsets[g]), int(node_offsets[g + 1])
+                graph_edges = sum(hi - lo for _, lo, hi in chunks)
+                if self.num_relations * (n1 - n0) <= graph_edges:
+                    projected = x[n0:n1] @ weight          # (R, N_g, O)
+                    for relation, lo, hi in chunks:
+                        messages[lo:hi] = projected[relation][src[lo:hi] - n0]
+                else:
+                    F.packed_segment_matmul_data(x, src, weight, chunks,
+                                                 messages)
+            scale = np.ones(num_edges, dtype=x.dtype)
+            if self.use_edge_weight and edge_weight is not None:
+                scale += layout.sort(edge_weight, dtype=x.dtype)
+            counts = np.bincount(
+                layout.cell_dst,
+                minlength=num_nodes * self.num_relations).astype(x.dtype)
+            scale /= counts[layout.cell_dst]
+            messages *= scale[:, None]
+            for g in range(packed.num_graphs):
+                rows = packed.solo_rows(g)
+                if not rows.size:
+                    continue
+                n0, n1 = int(node_offsets[g]), int(node_offsets[g + 1])
+                out[n0:n1] += segment_sum_data(messages[rows], dst[rows] - n0,
+                                               n1 - n0)
+        return out + self.bias.data
 
     def forward_reference(
         self,

@@ -152,6 +152,44 @@ class Trainer:
         scaled_predictions = np.clip(scaled_predictions, 0.0, 1.0)
         return self.target_scaler.inverse_transform(scaled_predictions)
 
+    def predict_packed(self, graphs, dtype=None) -> np.ndarray:
+        """Predict runtimes for *graphs* through one packed forward.
+
+        Packs the encoded graphs into block-diagonal batches
+        (:func:`repro.gnn.pack_graphs`) and runs the model's fused
+        multi-graph kernel — float64 (``dtype=None``) results are
+        bit-identical to predicting each graph alone, for any packing
+        order.  Large batches split into sub-packs of bounded node count
+        (:func:`repro.gnn.split_packs`) so a fused forward's working set
+        stays cache-resident; splitting changes nothing numerically.
+        Models without a packed kernel (e.g. the COMPOFF MLP or a custom
+        registered conv) transparently fall back to :meth:`predict`.
+        """
+        if not self._fitted_scalers:
+            raise RuntimeError("Trainer.fit must run before predict")
+        graphs = list(graphs)
+        if not graphs:
+            return np.zeros(0)
+        supports = getattr(self.model, "supports_packed", None)
+        if supports is None or not supports():
+            return self.predict(GraphDataset(graphs, name="predict"),
+                                dtype=dtype)
+        # imported lazily: repro.gnn pulls in the api registries, which in
+        # turn import this module
+        from ..gnn.packing import pack_graphs, split_packs
+
+        results = []
+        for pack in split_packs(graphs):
+            batch = pack_graphs(pack, self.model.num_relations)
+            batch.aux_features = self.aux_scaler.transform(batch.aux_features)
+            if dtype is None:
+                outputs = self.model.predict_packed(batch)
+            else:
+                outputs = self.model.predict_packed(batch, dtype=dtype)
+            results.append(np.asarray(outputs).astype(np.float64))
+        scaled_predictions = np.clip(np.concatenate(results), 0.0, 1.0)
+        return self.target_scaler.inverse_transform(scaled_predictions)
+
     def evaluate(self, dataset: GraphDataset, dtype=None) -> Dict[str, float]:
         """RMSE / normalized RMSE of the current model on *dataset*."""
         predictions = self.predict(dataset, dtype=dtype)

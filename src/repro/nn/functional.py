@@ -158,6 +158,24 @@ def segment_matmul(x: Tensor, weight: Tensor, offsets: np.ndarray) -> Tensor:
     return out
 
 
+def packed_segment_matmul_data(x: np.ndarray, rows: np.ndarray,
+                               weight: np.ndarray, chunks,
+                               out: np.ndarray) -> np.ndarray:
+    """Raw-array per-chunk segment matmul for packed block-diagonal batches.
+
+    For every ``(relation, lo, hi)`` chunk, projects the gathered rows
+    ``x[rows[lo:hi]]`` with ``weight[relation]`` into ``out[lo:hi]``.  Each
+    chunk is one (graph, relation) run of a merged
+    :class:`~repro.gnn.packing.PackedLayout`, so every GEMM sees exactly the
+    row count the corresponding per-graph forward would use — BLAS kernels
+    are not bit-stable across row counts, and the packed path's bit-identity
+    contract depends on keeping those shapes.  Inference-only: no autodiff.
+    """
+    for relation, lo, hi in chunks:
+        np.matmul(x[rows[lo:hi]], weight[relation], out=out[lo:hi])
+    return out
+
+
 def mse_loss(prediction: Tensor, target: Tensor) -> Tensor:
     """Mean squared error."""
     diff = prediction - target

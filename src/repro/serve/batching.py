@@ -9,13 +9,15 @@ The serving :class:`~repro.serve.server.Server` separates *what to run*
 * single predictions (``Server.submit``) enter a per-shard queue and are
   **coalesced into micro-batches**: a batch closes when it reaches
   ``max_batch_size`` or when its oldest request has waited
-  ``batch_window_s``, whichever comes first,
+  ``batch_window_s``, whichever comes first — under the default packed
+  block-diagonal forward (:mod:`repro.gnn.packing`) a coalesced float64
+  result is bit-identical to a solo prediction for *any* batch
+  composition,
 * explicit batch calls (``Server.predict_batch``) travel as one
   :class:`WorkItem` and are never merged with other traffic: the caller's
-  batching is preserved exactly, which keeps float64 results bit-identical
-  to a single-threaded run of the same request list (BLAS kernels are not
-  bit-stable across *different* batch shapes, so reproducibility requires
-  composition-stable batches).
+  batching is preserved exactly, so a fixed request list produces the
+  same bits regardless of concurrent traffic (and, packed or not, float64
+  results match the single-threaded reference bit for bit).
 
 The queue also enforces the *admission* half of the failure model (see
 ``repro.reliability`` and SERVING.md's "Failure model"):

@@ -11,7 +11,9 @@ worker threads:
   :meth:`Server.submit` / :meth:`Server.predict` coalesce into batches of
   up to ``max_batch_size`` requests within a ``batch_window_s`` window
   (the :mod:`repro.serve.batching` policy), amortising one GNN forward
-  over many callers,
+  over many callers — by default a **packed** block-diagonal forward
+  (:mod:`repro.gnn.packing`) whose float64 results are bit-identical to
+  solo predictions regardless of batch composition,
 * **whole-job batches** — :meth:`Server.predict_batch` executes the
   caller's request list as one unit, preserving its batch composition so
   float64 results are bit-identical to a single-threaded run,
@@ -93,6 +95,7 @@ MAX_QUEUE_ENV = "REPRO_SERVE_MAX_QUEUE"
 MAX_RETRIES_ENV = "REPRO_SERVE_MAX_RETRIES"
 BREAKER_THRESHOLD_ENV = "REPRO_SERVE_BREAKER_THRESHOLD"
 BREAKER_RESET_MS_ENV = "REPRO_SERVE_BREAKER_RESET_MS"
+PACKED_ENV = "REPRO_SERVE_PACKED"
 
 #: extra slack predict()/predict_specs() grant a pooled future past its
 #: deadline before declaring the request lost — covers the scheduler drop
@@ -107,7 +110,9 @@ def _env_int(name: str, default: int) -> int:
     try:
         return int(raw)
     except ValueError:
-        raise ValueError(f"{name} must be an integer, got {raw!r}")
+        # `from None`: the caller misconfigured an environment variable —
+        # the actionable message is which knob, not the int() traceback
+        raise ValueError(f"{name} must be an integer, got {raw!r}") from None
 
 
 def _env_float(name: str, default: float) -> float:
@@ -117,7 +122,23 @@ def _env_float(name: str, default: float) -> float:
     try:
         return float(raw)
     except ValueError:
-        raise ValueError(f"{name} must be a number, got {raw!r}")
+        raise ValueError(f"{name} must be a number, got {raw!r}") from None
+
+
+_BOOL_VALUES = {"1": True, "true": True, "yes": True, "on": True,
+                "0": False, "false": False, "no": False, "off": False}
+
+
+def _env_bool(name: str, default: bool) -> bool:
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return default
+    try:
+        return _BOOL_VALUES[raw.lower()]
+    except KeyError:
+        raise ValueError(
+            f"{name} must be a boolean (1/0, true/false, yes/no, on/off), "
+            f"got {raw!r}") from None
 
 
 def resolve_result_dtype(dtype) -> np.dtype:
@@ -164,6 +185,12 @@ class ServerConfig:
         breaker.  ``0`` disables breakers entirely.
     breaker_reset_s:
         How long an open circuit waits before admitting a half-open trial.
+    packed_forward:
+        Execute every batch through the packed block-diagonal multi-graph
+        forward (``Trainer.predict_packed``) instead of the per-batch
+        dataset loop.  On (the default), float64 results stay bit-identical
+        to solo predictions for *every* batch composition; switch off to
+        serve through the legacy collated loop.
     """
 
     num_workers: int = 0
@@ -176,6 +203,7 @@ class ServerConfig:
     retry_budget: float = 32.0
     breaker_threshold: int = 8
     breaker_reset_s: float = 5.0
+    packed_forward: bool = True
 
     def __post_init__(self) -> None:
         if self.num_workers < 0:
@@ -212,6 +240,7 @@ class ServerConfig:
             max_retries=_env_int(MAX_RETRIES_ENV, 2),
             breaker_threshold=_env_int(BREAKER_THRESHOLD_ENV, 8),
             breaker_reset_s=_env_float(BREAKER_RESET_MS_ENV, 5000.0) / 1000.0,
+            packed_forward=_env_bool(PACKED_ENV, True),
         )
 
 
@@ -374,10 +403,14 @@ class Server:
         """Queue one prediction; returns a future resolving to µs runtime.
 
         Queued singles coalesce with other callers' requests into
-        micro-batches (see :class:`ServerConfig`); numerically the result
-        matches a solo prediction to BLAS rounding (~1e-14 relative in
-        float64 — batch composition changes the GEMM shapes, which is why
-        bit-exactness is only guaranteed for :meth:`predict_batch` jobs).
+        micro-batches (see :class:`ServerConfig`).  Under the default
+        packed forward (``packed_forward=True``) a float64 result is
+        **bit-identical** to a solo prediction no matter which companions
+        it coalesced with — the packed kernel keeps every BLAS call at
+        solo shapes.  With ``packed_forward=False`` (legacy collated loop)
+        the result matches a solo prediction only to BLAS rounding
+        (~1e-14 relative in float64), because batch composition changes
+        the GEMM shapes.
 
         *deadline_s* bounds the request end to end (queueing included);
         the future then resolves to :class:`DeadlineExceeded` instead of
@@ -539,8 +572,9 @@ class Server:
         with serving_scope():
             encoded = self._session._encode_specs(specs, snippet=key.snippet)
             fault_point(SITE_FORWARD)
-            context = Pipeline([PredictStage(dtype=dtype)]).run(
-                encoded=encoded, trainer=trainer)
+            stage = PredictStage(dtype=dtype,
+                                 packed=self.config.packed_forward)
+            context = Pipeline([stage]).run(encoded=encoded, trainer=trainer)
         return context["predictions"]
 
     def _execute_with_retry(self, key: ShardKey, specs: List,

@@ -35,7 +35,11 @@ cross-layer invariant checked over many seeded generated cases:
   admission faults, tight deadlines, a bounded queue) every request
   either returns a float64 result **bit-identical** to its fault-free
   reference or raises a typed reliability error — never a hang, never
-  silent corruption.
+  silent corruption,
+* ``packed-forward-parity`` — the packed block-diagonal multi-graph
+  forward (:mod:`repro.gnn.packing`) is float64 bit-identical to
+  predicting each graph alone, for random models, batch compositions and
+  packing orders.
 
 Every failure reports the integer seed of the offending case;
 ``python -m repro.synth <scenario> <seed>`` replays exactly that case.
@@ -687,6 +691,58 @@ def check_serve_under_faults(seed: int) -> None:
             server.close()
 
 
+def check_packed_forward_parity(seed: int) -> None:
+    """Packed multi-graph inference is bit-identical to solo predictions.
+
+    Seeded plan: a small :class:`~repro.gnn.models.ParaGraphModel`
+    (seed-chosen conv kind, depth, heads and readout) with fitted scalers
+    predicts 2-6 random graphs one at a time — the per-graph reference
+    loop serving keeps for parity — and then through
+    :meth:`~repro.ml.trainer.Trainer.predict_packed` under several random
+    packing orders.  Every packed float64 result must equal its solo
+    reference **bit for bit**: the packed kernel keeps all BLAS calls at
+    solo shapes, so batch composition must not change a single bit (the
+    contract SERVING.md's "Packed batching" section documents).
+    """
+    from ..gnn.models import ParaGraphModel
+    from ..ml.dataset import GraphDataset
+    from ..ml.trainer import Trainer, TrainingConfig
+
+    rng = np.random.default_rng(seed)
+    num_relations = int(rng.choice([1, 2, NUM_EDGE_TYPES]))
+    shapes = GraphGenConfig(num_nodes=_GNN_SHAPES.num_nodes,
+                            feature_dim=_GNN_SHAPES.feature_dim,
+                            num_relations=num_relations)
+    num_graphs = 2 + int(rng.integers(0, 5))
+    graphs = [random_encoded_graph(seed * 1000 + index, shapes)
+              for index in range(num_graphs)]
+    model = ParaGraphModel(
+        node_feature_dim=shapes.feature_dim,
+        hidden_dim=int(rng.integers(2, 7)),
+        num_relations=num_relations,
+        num_conv_layers=int(rng.integers(1, 3)),
+        conv=str(rng.choice(["rgat", "rgcn"])),
+        heads=int(rng.integers(1, 3)),
+        readout=str(rng.choice(["mean", "sum", "mean_max"])),
+        seed=seed,
+    )
+    assert model.supports_packed()
+    trainer = Trainer(model, TrainingConfig(epochs=1))
+    trainer._fit_scalers(GraphDataset(graphs, name="synth-packed"))
+    reference = np.concatenate([
+        trainer.predict(GraphDataset([graph], name="solo"))
+        for graph in graphs])
+    for _ in range(2):
+        order = rng.permutation(num_graphs)
+        packed = trainer.predict_packed([graphs[index] for index in order])
+        np.testing.assert_array_equal(
+            packed, reference[order],
+            err_msg=f"packing order {order.tolist()} changed float64 bits")
+    # single-graph packs ride the same path inline serving uses
+    np.testing.assert_array_equal(trainer.predict_packed(graphs[:1]),
+                                  reference[:1])
+
+
 def check_analysis_planted_defects(seed: int) -> None:
     """Score the static-analysis checkers against planted ground truth.
 
@@ -792,6 +848,7 @@ _register("config-roundtrip", check_config_roundtrip, 16, "api")
 _register("store-roundtrip", check_store_roundtrip, 6, "store")
 _register("serving-context-isolation", check_context_isolation, 6, "serve")
 _register("serve-under-faults", check_serve_under_faults, 50, "reliability")
+_register("packed-forward-parity", check_packed_forward_parity, 16, "gnn")
 _register("analysis-planted-defects", check_analysis_planted_defects, 20,
           "analysis")
 

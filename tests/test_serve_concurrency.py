@@ -111,10 +111,10 @@ class TestMicroBatching:
                        for spec in requests]
             values = np.array([future.result() for future in futures])
             stats = server.stats()
-        # numerically a coalesced single matches its solo run to BLAS
-        # rounding (batch composition changes GEMM shapes, hence not bitwise)
-        np.testing.assert_allclose(values, reference["float64"],
-                                   rtol=1e-9, atol=1e-9)
+        # the packed forward keeps every BLAS call at solo shapes, so a
+        # coalesced single is bit-identical to its solo run — whatever
+        # micro-batch composition the scheduler happened to form
+        np.testing.assert_array_equal(values, reference["float64"])
         assert stats.singles_submitted == len(requests)
         assert stats.max_coalesced >= 2, "no micro-batch was ever formed"
         assert stats.batches_executed < stats.singles_submitted
@@ -378,6 +378,133 @@ class TestPoisonedBatchRetryPath:
                                                rtol=1e-12)
                 assert server.stats().retries >= 1
                 assert server.stats().failures == 0
+
+
+class TestPackedForward:
+    """The packed block-diagonal serving path (ServerConfig.packed_forward)."""
+
+    def test_packed_batch_matches_per_graph_loop_bit_for_bit(
+            self, session, requests):
+        legacy = Server(session, ServerConfig(packed_forward=False))
+        packed = Server(session, ServerConfig())        # packed is the default
+        per_graph = np.concatenate(
+            [legacy.predict_batch([spec], PLATFORM, dtype=None)
+             for spec in requests])
+        np.testing.assert_array_equal(
+            packed.predict_batch(requests, PLATFORM, dtype=None), per_graph,
+            err_msg="packed forward diverged from the per-graph loop")
+
+    def test_packed_forward_can_be_disabled(self, session, requests, reference):
+        with Server(session, ServerConfig(num_workers=1,
+                                          packed_forward=False)) as server:
+            got = server.predict_batch(requests, PLATFORM, dtype=None)
+        # the legacy collated loop matches only to BLAS rounding: batch
+        # composition changes the GEMM shapes there
+        np.testing.assert_allclose(got, reference["float64"], rtol=1e-9)
+
+    def test_packed_env_knob(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVE_PACKED", "0")
+        assert ServerConfig.from_env().packed_forward is False
+        monkeypatch.setenv("REPRO_SERVE_PACKED", "true")
+        assert ServerConfig.from_env().packed_forward is True
+
+
+class TestServerConfigFromEnv:
+    """Satellite: malformed REPRO_SERVE_* values raise a ValueError naming
+    the offending variable, never a bare parse traceback."""
+
+    VALID = [
+        ("REPRO_SERVE_WORKERS", "3", "num_workers", 3),
+        ("REPRO_SERVE_MAX_BATCH", "16", "max_batch_size", 16),
+        ("REPRO_SERVE_WINDOW_MS", "5", "batch_window_s", 0.005),
+        ("REPRO_SERVE_DEADLINE_MS", "250", "default_deadline_s", 0.25),
+        ("REPRO_SERVE_MAX_QUEUE", "9", "max_queue_depth", 9),
+        ("REPRO_SERVE_MAX_RETRIES", "1", "max_retries", 1),
+        ("REPRO_SERVE_BREAKER_THRESHOLD", "4", "breaker_threshold", 4),
+        ("REPRO_SERVE_BREAKER_RESET_MS", "1500", "breaker_reset_s", 1.5),
+        ("REPRO_SERVE_PACKED", "no", "packed_forward", False),
+    ]
+
+    MALFORMED = [
+        ("REPRO_SERVE_WORKERS", "three"),
+        ("REPRO_SERVE_MAX_BATCH", "4.5"),
+        ("REPRO_SERVE_WINDOW_MS", "soon"),
+        ("REPRO_SERVE_DEADLINE_MS", "1e"),
+        ("REPRO_SERVE_MAX_QUEUE", ""),      # blank-after-strip keeps default
+        ("REPRO_SERVE_MAX_RETRIES", "none"),
+        ("REPRO_SERVE_BREAKER_THRESHOLD", "0x8"),
+        ("REPRO_SERVE_BREAKER_RESET_MS", "5,0"),
+        ("REPRO_SERVE_PACKED", "maybe"),
+    ]
+
+    @pytest.mark.parametrize("name,raw,attr,expected", VALID)
+    def test_valid_values_land_on_their_knob(self, monkeypatch, name, raw,
+                                             attr, expected):
+        monkeypatch.setenv(name, raw)
+        assert getattr(ServerConfig.from_env(), attr) == expected
+
+    @pytest.mark.parametrize("name,raw", MALFORMED)
+    def test_malformed_values_name_the_variable(self, monkeypatch, name, raw):
+        monkeypatch.setenv(name, raw)
+        if not raw.strip():
+            assert ServerConfig.from_env() == ServerConfig.from_env()
+            return
+        with pytest.raises(ValueError, match=name) as excinfo:
+            ServerConfig.from_env()
+        # `raise ... from None`: the int()/float() ValueError must not leak
+        # as a chained traceback — the named message is the whole story
+        assert excinfo.value.__suppress_context__
+        assert repr(raw) in str(excinfo.value)
+
+    def test_blank_values_keep_defaults(self, monkeypatch):
+        for name, _ in self.MALFORMED:
+            monkeypatch.setenv(name, "   ")
+        assert ServerConfig.from_env() == ServerConfig()
+
+
+class TestExpiredRequestInPackedBatch:
+    """Satellite: one already-expired request in a coalesced batch is
+    dropped alone at dequeue — it must not poison or delay its neighbours."""
+
+    def test_batcher_drops_only_the_expired_single(self):
+        import time
+
+        from repro.reliability import DeadlineExceeded
+        from repro.serve import MicroBatcher, ShardKey
+
+        batcher = MicroBatcher(max_batch_size=8, batch_window_s=0.0)
+        key = ShardKey("platform", False, None)
+        expired = batcher.enqueue_single(key, "expired",
+                                         deadline=time.monotonic() - 1.0)
+        live = [batcher.enqueue_single(key, f"live-{i}") for i in range(3)]
+        item = batcher.next_batch()
+        assert item is not None and item.kind == "singles"
+        assert item.specs == ["live-0", "live-1", "live-2"]
+        batcher.task_done()
+        with pytest.raises(DeadlineExceeded):
+            expired.result(timeout=1.0)
+        assert all(not future.done() for future in live)
+        assert batcher.stats().deadline_expired == 1
+
+    def test_live_neighbours_survive_bit_for_bit(self, session, requests,
+                                                 reference):
+        from repro.reliability import DeadlineExceeded
+
+        config = ServerConfig(num_workers=1, max_batch_size=8,
+                              batch_window_s=0.1)
+        with Server(session, config) as server:
+            expired = server.submit(requests[0], PLATFORM, dtype=None,
+                                    deadline_s=0.0)
+            live = [server.submit(spec, PLATFORM, dtype=None)
+                    for spec in requests[1:4]]
+            for index, future in enumerate(live, start=1):
+                np.testing.assert_array_equal(future.result(timeout=30),
+                                              reference["float64"][index])
+            with pytest.raises(DeadlineExceeded):
+                expired.result(timeout=10.0)
+            stats = server.stats()
+        assert stats.deadline_expired == 1
+        assert stats.failures == 0
 
 
 class TestSessionFacadeSatellites:
