@@ -72,6 +72,7 @@ _SUBPACKAGES = (
     "kernels",
     "ml",
     "nn",
+    "obs",
     "paragraph",
     "pipeline",
     "reliability",

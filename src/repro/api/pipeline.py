@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import List, Sequence
 
+from ..obs.profile import stage_scope
 from .stages import Stage
 
 __all__ = ["Pipeline", "PipelineContext", "PipelineError"]
@@ -69,7 +70,8 @@ class Pipeline:
                     f"stage {stage.name} requires {missing} but the context "
                     f"only has {sorted(context)}; pass the missing keys to "
                     "Pipeline.run(...) or add a stage that provides them first")
-            stage.run(context)
+            with stage_scope(stage, context):
+                stage.run(context)
             unfulfilled = [key for key in stage.provides if key not in context]
             if unfulfilled:
                 raise PipelineError(

@@ -54,12 +54,15 @@ __all__ = ["CacheInfo", "Session"]
 
 
 class CacheInfo(NamedTuple):
-    """Hit/miss statistics of the session's graph-construction cache."""
+    """Hit/miss/eviction statistics of the session's graph-construction
+    cache (``evictions`` is appended with a default, keeping the tuple
+    positionally compatible with its pre-observability shape)."""
 
     hits: int
     misses: int
     size: int
     capacity: int
+    evictions: int = 0
 
 
 class _GraphCache:
@@ -77,6 +80,7 @@ class _GraphCache:
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def get(self, key: tuple) -> Optional[EncodedGraph]:
         with self._lock:
@@ -96,6 +100,7 @@ class _GraphCache:
             self._entries.move_to_end(key)
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
+                self.evictions += 1
 
     def clear(self, reset_stats: bool = False) -> None:
         """Drop every entry; optionally also zero the hit/miss counters."""
@@ -104,17 +109,20 @@ class _GraphCache:
             if reset_stats:
                 self.hits = 0
                 self.misses = 0
+                self.evictions = 0
 
     def reset_stats(self) -> None:
         """Zero the hit/miss counters without touching the cached graphs."""
         with self._lock:
             self.hits = 0
             self.misses = 0
+            self.evictions = 0
 
     def info(self) -> CacheInfo:
         with self._lock:
             return CacheInfo(hits=self.hits, misses=self.misses,
-                             size=len(self._entries), capacity=self.capacity)
+                             size=len(self._entries), capacity=self.capacity,
+                             evictions=self.evictions)
 
 
 class Session:

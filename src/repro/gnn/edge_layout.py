@@ -180,12 +180,17 @@ class RelationalEdgeLayout:
 
 
 class CacheInfo(NamedTuple):
-    """Hit/miss statistics of an :class:`EdgeLayoutCache`."""
+    """Hit/miss/eviction statistics of an :class:`EdgeLayoutCache`.
+
+    ``evictions`` is appended with a default so the tuple stays
+    positionally compatible with its pre-observability four-field shape.
+    """
 
     hits: int
     misses: int
     size: int
     capacity: int
+    evictions: int = 0
 
 
 class EdgeLayoutCache:
@@ -210,6 +215,7 @@ class EdgeLayoutCache:
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     @staticmethod
     def _key(edge_index: np.ndarray, edge_type: Optional[np.ndarray],
@@ -254,6 +260,7 @@ class EdgeLayoutCache:
                 self._entries[key] = layout
                 while len(self._entries) > self.capacity:
                     self._entries.popitem(last=False)
+                    self.evictions += 1
         return layout
 
     def clear(self) -> None:
@@ -264,7 +271,8 @@ class EdgeLayoutCache:
         """A coherent snapshot of the counters and size (taken under the lock)."""
         with self._lock:
             return CacheInfo(hits=self.hits, misses=self.misses,
-                             size=len(self._entries), capacity=self.capacity)
+                             size=len(self._entries), capacity=self.capacity,
+                             evictions=self.evictions)
 
 
 #: process-wide default cache; sized for a serving tier's working set of

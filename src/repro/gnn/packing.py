@@ -280,6 +280,7 @@ class PackedLayoutCache:
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     @staticmethod
     def _key(graph_keys: Sequence[bytes]) -> bytes:
@@ -308,6 +309,7 @@ class PackedLayoutCache:
                 self._entries[key] = packed
                 while len(self._entries) > self.capacity:
                     self._entries.popitem(last=False)
+                    self.evictions += 1
         return packed
 
     def clear(self) -> None:
@@ -317,7 +319,8 @@ class PackedLayoutCache:
     def info(self) -> CacheInfo:
         with self._lock:
             return CacheInfo(hits=self.hits, misses=self.misses,
-                             size=len(self._entries), capacity=self.capacity)
+                             size=len(self._entries), capacity=self.capacity,
+                             evictions=self.evictions)
 
 
 #: process-wide packed-layout cache — its own keyspace, see the module
@@ -344,6 +347,15 @@ def pack_graphs(graphs: Iterable, num_relations: int,
     graphs = list(graphs)
     if not graphs:
         raise ValueError("pack_graphs needs at least one graph")
+    # tracing hook: one global read when no collector is active
+    from ..obs.tracing import span
+    with span("engine.pack", num_graphs=len(graphs)):
+        return _pack_graphs(graphs, num_relations, cache, layout_cache)
+
+
+def _pack_graphs(graphs: List, num_relations: int,
+                 cache: Optional[PackedLayoutCache],
+                 layout_cache: Optional[EdgeLayoutCache]) -> PackedBatch:
     layouts = []
     keys = []
     for graph in graphs:

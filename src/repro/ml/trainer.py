@@ -137,16 +137,21 @@ class Trainer:
             raise RuntimeError("Trainer.fit must run before predict")
         if len(dataset) == 0:
             return np.zeros(0)
+        from ..obs.tracing import span
+
         batch_size = batch_size or self.config.batch_size
         outputs: List[np.ndarray] = []
         for batch in dataset.batches(batch_size, shuffle=False):
             scaled = self._scaled_batch(batch)
-            if dtype is None:
-                # don't forward the kwarg: custom models registered against
-                # the pre-dtype predict() signature must keep working
-                outputs.append(self.model.predict(scaled))
-            else:
-                outputs.append(self.model.predict(scaled, dtype=dtype))
+            with span("engine.forward", num_graphs=scaled.num_graphs,
+                      packed=False):
+                if dtype is None:
+                    # don't forward the kwarg: custom models registered
+                    # against the pre-dtype predict() signature must keep
+                    # working
+                    outputs.append(self.model.predict(scaled))
+                else:
+                    outputs.append(self.model.predict(scaled, dtype=dtype))
         scaled_predictions = np.concatenate(outputs).astype(np.float64)
         # clamp to the scaler's range before inverting so expm1 cannot overflow
         scaled_predictions = np.clip(scaled_predictions, 0.0, 1.0)
@@ -177,15 +182,17 @@ class Trainer:
         # imported lazily: repro.gnn pulls in the api registries, which in
         # turn import this module
         from ..gnn.packing import pack_graphs, split_packs
+        from ..obs.tracing import span
 
         results = []
         for pack in split_packs(graphs):
             batch = pack_graphs(pack, self.model.num_relations)
             batch.aux_features = self.aux_scaler.transform(batch.aux_features)
-            if dtype is None:
-                outputs = self.model.predict_packed(batch)
-            else:
-                outputs = self.model.predict_packed(batch, dtype=dtype)
+            with span("engine.forward", num_graphs=len(pack), packed=True):
+                if dtype is None:
+                    outputs = self.model.predict_packed(batch)
+                else:
+                    outputs = self.model.predict_packed(batch, dtype=dtype)
             results.append(np.asarray(outputs).astype(np.float64))
         scaled_predictions = np.clip(np.concatenate(results), 0.0, 1.0)
         return self.target_scaler.inverse_transform(scaled_predictions)

@@ -38,7 +38,8 @@ import hashlib
 import threading
 import warnings
 from collections import OrderedDict
-from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import (Callable, Iterable, List, NamedTuple, Optional, Sequence,
+                    Tuple, Union)
 
 import numpy as np
 
@@ -164,6 +165,30 @@ def _noop() -> None:
 _SCATTER_MATRIX_CACHE: "OrderedDict[tuple, object]" = OrderedDict()
 _SCATTER_MATRIX_CAPACITY = 64
 _SCATTER_MATRIX_LOCK = threading.Lock()
+# hit/miss/eviction accounting (mutated under the lock) — surfaced by
+# scatter_matrix_cache_info() and the repro.obs snapshot document
+_SCATTER_MATRIX_STATS = {"hits": 0, "misses": 0, "evictions": 0}
+
+
+class ScatterMatrixCacheInfo(NamedTuple):
+    """Hit/miss/eviction statistics of the scatter-matrix LRU."""
+
+    hits: int
+    misses: int
+    evictions: int
+    size: int
+    capacity: int
+
+
+def scatter_matrix_cache_info() -> ScatterMatrixCacheInfo:
+    """A coherent snapshot of the process-wide scatter-matrix cache."""
+    with _SCATTER_MATRIX_LOCK:
+        return ScatterMatrixCacheInfo(
+            hits=_SCATTER_MATRIX_STATS["hits"],
+            misses=_SCATTER_MATRIX_STATS["misses"],
+            evictions=_SCATTER_MATRIX_STATS["evictions"],
+            size=len(_SCATTER_MATRIX_CACHE),
+            capacity=_SCATTER_MATRIX_CAPACITY)
 
 #: minimum number of scattered elements before the sparse-matmul path kicks
 #: in — below this np.add.at wins because the matmul setup dominates.
@@ -188,7 +213,9 @@ def scatter_matrix(indices: np.ndarray, num_segments: int, dtype) -> Optional[ob
         matrix = _SCATTER_MATRIX_CACHE.get(key)
         if matrix is not None:
             _SCATTER_MATRIX_CACHE.move_to_end(key)
+            _SCATTER_MATRIX_STATS["hits"] += 1
             return matrix
+        _SCATTER_MATRIX_STATS["misses"] += 1
     # build outside the lock: concurrent misses duplicate the (idempotent)
     # construction instead of serialising every worker behind one builder
     num_rows = int(indices.shape[0])
@@ -203,6 +230,7 @@ def scatter_matrix(indices: np.ndarray, num_segments: int, dtype) -> Optional[ob
         _SCATTER_MATRIX_CACHE[key] = matrix
         while len(_SCATTER_MATRIX_CACHE) > _SCATTER_MATRIX_CAPACITY:
             _SCATTER_MATRIX_CACHE.popitem(last=False)
+            _SCATTER_MATRIX_STATS["evictions"] += 1
     return matrix
 
 

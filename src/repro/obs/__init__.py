@@ -1,0 +1,99 @@
+"""repro.obs — metrics, per-request tracing and profiling for the stack.
+
+The observability substrate the serving/store/engine layers record into
+(see OBSERVABILITY.md):
+
+* :mod:`repro.obs.metrics` — a string-keyed :class:`MetricsRegistry` of
+  counters, gauges and streaming-quantile histograms; the
+  :class:`~repro.serve.Server`'s ``stats()`` / ``healthz()`` are thin
+  views over its per-instance registry,
+* :mod:`repro.obs.tracing` — contextvar-backed :class:`Span` trees, one
+  per request, with stable-schema JSON export and a text renderer;
+  activate with :func:`trace_requests`,
+* :mod:`repro.obs.profile` — per-stage wall-time / working-set hooks the
+  :class:`~repro.api.pipeline.Pipeline` runs through,
+* :mod:`repro.obs.snapshot` — the unified, versioned JSON document
+  (``python -m repro.obs snapshot``) over stats, health, latency
+  percentiles and all four LRU caches.
+
+Everything is off (and near-free) by default: recording activates inside
+:func:`metrics_scope` / :func:`trace_requests` blocks, mirroring
+:func:`~repro.reliability.faults.fault_point`'s no-injector fast path.
+"""
+
+from .metrics import (
+    CacheStats,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    QuantileSketch,
+    active_metrics,
+    add_count,
+    metric_kind_registry,
+    metrics_scope,
+    observe,
+    register_metric_kind,
+    set_gauge,
+)
+from .tracing import (
+    Span,
+    Trace,
+    TraceCollector,
+    TraceError,
+    TRACE_SCHEMA_VERSION,
+    activate_span,
+    active_collector,
+    begin_trace,
+    complete_trace,
+    current_span,
+    span,
+    trace_requests,
+    tracing_active,
+)
+from .profile import stage_scope, working_set_bytes
+from .snapshot import (
+    SNAPSHOT_SCHEMA_VERSION,
+    SnapshotError,
+    collect_cache_stats,
+    snapshot,
+    snapshot_json,
+    validate_snapshot,
+)
+
+__all__ = [
+    "CacheStats",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "QuantileSketch",
+    "SNAPSHOT_SCHEMA_VERSION",
+    "SnapshotError",
+    "Span",
+    "Trace",
+    "TraceCollector",
+    "TraceError",
+    "TRACE_SCHEMA_VERSION",
+    "activate_span",
+    "active_collector",
+    "active_metrics",
+    "add_count",
+    "begin_trace",
+    "collect_cache_stats",
+    "complete_trace",
+    "current_span",
+    "metric_kind_registry",
+    "metrics_scope",
+    "observe",
+    "register_metric_kind",
+    "set_gauge",
+    "snapshot",
+    "snapshot_json",
+    "span",
+    "stage_scope",
+    "trace_requests",
+    "tracing_active",
+    "validate_snapshot",
+    "working_set_bytes",
+]

@@ -1,0 +1,131 @@
+"""Profiling hooks: per-stage wall time and working-set accounting.
+
+:func:`stage_scope` wraps every :meth:`repro.api.pipeline.Pipeline.run`
+stage.  With neither an ambient :func:`~repro.obs.metrics.metrics_scope`
+nor a :func:`~repro.obs.tracing.trace_requests` scope active it is a
+shared no-op context manager (two global reads — the pipeline hot path
+stays clean); otherwise each stage records
+
+* a ``stage.<name>`` span under the calling context's current span,
+* a ``stage.<name>.wall_s`` histogram observation into the ambient
+  metrics registry, and
+* a ``stage.<name>.working_set_bytes`` gauge estimating the bytes of the
+  artifacts the stage *provides* (arrays by ``nbytes``, containers and
+  objects recursively, bounded depth/fan-out so a pathological context
+  cannot stall profiling).
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Optional
+
+import numpy as np
+
+from . import metrics as _metrics
+from . import tracing as _tracing
+
+__all__ = ["stage_scope", "working_set_bytes"]
+
+#: recursion bounds of the working-set estimator.
+_MAX_DEPTH = 4
+_MAX_ITEMS = 10_000
+
+
+def working_set_bytes(value, _depth: int = 0,
+                      _seen: Optional[set] = None) -> int:
+    """Estimate the resident bytes of one artifact (best effort).
+
+    Arrays report ``nbytes``; containers and plain objects recurse with
+    bounded depth, capped fan-out and cycle protection; anything else
+    falls back to ``sys.getsizeof``.
+    """
+    if value is None:
+        return 0
+    if isinstance(value, np.ndarray):
+        return int(value.nbytes)
+    if isinstance(value, (bytes, bytearray, str)):
+        return len(value)
+    if isinstance(value, (int, float, bool, complex)):
+        return sys.getsizeof(value)
+    if _depth >= _MAX_DEPTH:
+        return sys.getsizeof(value)
+    if _seen is None:
+        _seen = set()
+    marker = id(value)
+    if marker in _seen:
+        return 0
+    _seen.add(marker)
+    total = sys.getsizeof(value, 0)
+    try:
+        if isinstance(value, dict):
+            items = list(value.items())[:_MAX_ITEMS]
+            for key, item in items:
+                total += working_set_bytes(key, _depth + 1, _seen)
+                total += working_set_bytes(item, _depth + 1, _seen)
+        elif isinstance(value, (list, tuple, set, frozenset)):
+            for item in list(value)[:_MAX_ITEMS]:
+                total += working_set_bytes(item, _depth + 1, _seen)
+        else:
+            attrs = getattr(value, "__dict__", None)
+            if attrs:
+                total += working_set_bytes(attrs, _depth + 1, _seen)
+    except Exception:   # noqa: BLE001 - estimation must never break a run
+        pass
+    return int(total)
+
+
+class _NullStageScope:
+    """Shared no-op — the profiling-disabled fast path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_SCOPE = _NullStageScope()
+
+
+class _StageScope:
+    __slots__ = ("_stage", "_context", "_span_cm", "_span", "_start")
+
+    def __init__(self, stage, context) -> None:
+        self._stage = stage
+        self._context = context
+        self._span_cm = _tracing.span(f"stage.{stage.name}")
+        self._span = None
+        self._start = 0.0
+
+    def __enter__(self):
+        self._span = self._span_cm.__enter__()
+        self._start = _tracing._clock()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        wall_s = _tracing._clock() - self._start
+        name = self._stage.name
+        _metrics.observe(f"stage.{name}.wall_s", wall_s)
+        resident = 0
+        if exc is None and self._stage.provides:
+            resident = sum(
+                working_set_bytes(self._context.get(key))
+                for key in self._stage.provides)
+            _metrics.set_gauge(f"stage.{name}.working_set_bytes", resident)
+        if self._span is not None:
+            self._span.attributes.setdefault("wall_ms",
+                                             round(wall_s * 1e3, 3))
+            if resident:
+                self._span.attributes.setdefault("working_set_bytes",
+                                                 resident)
+        return self._span_cm.__exit__(exc_type, exc, tb)
+
+
+def stage_scope(stage, context):
+    """Profile one pipeline stage run (no-op unless obs is active)."""
+    if _metrics._ACTIVE is None and _tracing._COLLECTOR is None:
+        return _NULL_SCOPE
+    return _StageScope(stage, context)

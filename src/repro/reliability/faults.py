@@ -55,6 +55,7 @@ __all__ = [
     "SITE_STORE_WRITE",
     "SITE_SUBMIT",
     "SITE_WORKER",
+    "active_injector",
     "fault_kind_registry",
     "fault_point",
     "inject_faults",
@@ -253,6 +254,16 @@ class FaultInjector:
 #: the active injector; ``None`` (the default) makes fault_point a no-op.
 _ACTIVE: Optional[FaultInjector] = None
 _ACTIVATION_LOCK = threading.Lock()
+
+
+def active_injector() -> Optional[FaultInjector]:
+    """The currently-active :class:`FaultInjector`, or ``None``.
+
+    Read-only introspection for observability surfaces (``repro.obs``
+    snapshots report whether a chaos experiment is live and its fire
+    accounting); activation still goes through :func:`inject_faults`.
+    """
+    return _ACTIVE
 
 
 def fault_point(site: str, payload=None):

@@ -48,6 +48,8 @@ from concurrent.futures import Future
 from dataclasses import dataclass, field
 from typing import Deque, List, NamedTuple, Optional, Tuple
 
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracing import complete_trace
 from ..reliability.errors import (
     DeadlineExceeded,
     ServerClosedError,
@@ -78,6 +80,12 @@ class WorkItem(NamedTuple):
     ``deadlines`` carries each request's absolute ``time.monotonic()``
     deadline (``None`` = unbounded): per-spec for singles, and a single
     shared entry for a job.  Workers re-check them at execution time.
+    ``enqueued`` (one monotonic timestamp per future) feeds the
+    queue-wait histogram, and ``traces`` carries each request's
+    :class:`repro.obs.tracing.Trace` handle (``None`` entries when tracing
+    is off) so the worker that resolves a request also completes its span
+    tree; both trail with defaults, keeping pre-observability positional
+    construction working.
     """
 
     key: ShardKey
@@ -85,6 +93,8 @@ class WorkItem(NamedTuple):
     futures: List[Future]        # per-spec for singles; exactly one for a job
     kind: str                    # "singles" | "job"
     deadlines: List[Optional[float]]
+    enqueued: Tuple[float, ...] = ()
+    traces: Tuple[Optional[object], ...] = ()
 
 
 @dataclass
@@ -93,6 +103,7 @@ class _Single:
     future: Future
     enqueued: float
     deadline: Optional[float] = None
+    trace: Optional[object] = None
 
 
 @dataclass
@@ -101,6 +112,7 @@ class _Job:
     future: Future
     enqueued: float
     deadline: Optional[float] = None
+    trace: Optional[object] = None
 
 
 @dataclass
@@ -143,7 +155,8 @@ class MicroBatcher:
     """
 
     def __init__(self, max_batch_size: int, batch_window_s: float,
-                 max_queue_depth: int = 0) -> None:
+                 max_queue_depth: int = 0,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         if max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1")
         if batch_window_s < 0:
@@ -159,16 +172,21 @@ class MicroBatcher:
         self._rotation = 0
         self._stopping = False
         self._in_flight = 0
-        # stats (guarded by the lock)
-        self._singles = 0
-        self._jobs = 0
-        self._batches = 0
-        self._requests_executed = 0
-        self._max_coalesced = 0
-        self._coalesced_total = 0
-        self._peak_depth = 0
-        self._shed = 0
-        self._deadline_expired = 0
+        # accounting lives in a repro.obs metrics registry (shared with the
+        # owning Server, so its stats()/healthz() are views over the same
+        # instruments); scheduling state stays under the batcher lock
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._singles = self.metrics.counter("serve.singles_submitted")
+        self._jobs = self.metrics.counter("serve.jobs_submitted")
+        self._batches = self.metrics.counter("serve.batches_executed")
+        self._requests_executed = self.metrics.counter(
+            "serve.requests_executed")
+        self._coalesced_total = self.metrics.counter("serve.coalesced_total")
+        self._max_coalesced = self.metrics.gauge("serve.max_coalesced")
+        self._peak_depth = self.metrics.gauge("serve.peak_queue_depth")
+        self._shed = self.metrics.counter("serve.shed")
+        self._deadline_expired = self.metrics.counter(
+            "serve.deadline_expired_queue")
 
     # ------------------------------------------------------------------ #
     # producer side
@@ -185,9 +203,7 @@ class MicroBatcher:
                    for shard in self._shards.values())
 
     def _note_depth(self) -> None:
-        depth = self._depth_locked()
-        if depth > self._peak_depth:
-            self._peak_depth = depth
+        self._peak_depth.set_max(self._depth_locked())
 
     def _checked_open(self) -> None:
         if self._stopping:
@@ -198,22 +214,23 @@ class MicroBatcher:
             return
         depth = self._depth_locked()
         if depth + incoming > self.max_queue_depth:
-            self._shed += incoming
+            self._shed.inc(incoming)
             raise ServerOverloaded(
                 f"serving queue is full ({depth} pending, limit "
                 f"{self.max_queue_depth}); retry with backoff or raise "
                 "ServerConfig.max_queue_depth")
 
     def enqueue_single(self, key: ShardKey, spec,
-                       deadline: Optional[float] = None) -> Future:
+                       deadline: Optional[float] = None,
+                       trace=None) -> Future:
         """Queue one prediction for micro-batch coalescing."""
         future: Future = Future()
         with self._ready:
             self._checked_open()
             self._checked_admission(1)
             self._shard(key).singles.append(
-                _Single(spec, future, time.monotonic(), deadline))
-            self._singles += 1
+                _Single(spec, future, time.monotonic(), deadline, trace))
+            self._singles.inc()
             self._note_depth()
             # notify_all: workers and wait_idle() callers share this
             # condition, and a single notify could wake only an idle-waiter,
@@ -222,15 +239,16 @@ class MicroBatcher:
         return future
 
     def enqueue_job(self, key: ShardKey, specs: List[object],
-                    deadline: Optional[float] = None) -> Future:
+                    deadline: Optional[float] = None,
+                    trace=None) -> Future:
         """Queue one explicit batch; executed whole, never merged."""
         future: Future = Future()
         with self._ready:
             self._checked_open()
             self._checked_admission(len(specs))
             self._shard(key).jobs.append(
-                _Job(list(specs), future, time.monotonic(), deadline))
-            self._jobs += 1
+                _Job(list(specs), future, time.monotonic(), deadline, trace))
+            self._jobs.inc()
             self._note_depth()
             self._ready.notify_all()
         return future
@@ -241,11 +259,13 @@ class MicroBatcher:
     def _pop_singles(self, shard: _Shard) -> WorkItem:
         taken = [shard.singles.popleft()
                  for _ in range(min(len(shard.singles), self.max_batch_size))]
-        self._max_coalesced = max(self._max_coalesced, len(taken))
-        self._coalesced_total += len(taken)
+        self._max_coalesced.set_max(len(taken))
+        self._coalesced_total.inc(len(taken))
         return WorkItem(shard.key, [s.spec for s in taken],
                         [s.future for s in taken], "singles",
-                        [s.deadline for s in taken])
+                        [s.deadline for s in taken],
+                        tuple(s.enqueued for s in taken),
+                        tuple(s.trace for s in taken))
 
     def _rotated_shards(self) -> List[_Shard]:
         """Shards starting at a rotating offset, so no shard's traffic can
@@ -257,22 +277,23 @@ class MicroBatcher:
             shards = shards[offset:] + shards[:offset]
         return shards
 
-    def _pop_expired_locked(self, now: float) -> List[Future]:
+    def _pop_expired_locked(self, now: float) -> List[Tuple[Future, object]]:
         """Drop queued requests whose deadline has already passed.
 
-        Returns their futures; the caller sets :class:`DeadlineExceeded`
-        *outside* the lock (future callbacks run on the setting thread and
-        must not deadlock against the batcher).
+        Returns their ``(future, trace)`` pairs; the caller sets
+        :class:`DeadlineExceeded` (and completes the traces) *outside* the
+        lock (future callbacks run on the setting thread and must not
+        deadlock against the batcher).
         """
-        expired: List[Future] = []
+        expired: List[Tuple[Future, object]] = []
         for shard in self._shards.values():
             if any(s.deadline is not None and s.deadline <= now
                    for s in shard.singles):
                 keep: Deque[_Single] = deque()
                 for single in shard.singles:
                     if single.deadline is not None and single.deadline <= now:
-                        expired.append(single.future)
-                        self._deadline_expired += 1
+                        expired.append((single.future, single.trace))
+                        self._deadline_expired.inc()
                     else:
                         keep.append(single)
                 shard.singles = keep
@@ -281,8 +302,8 @@ class MicroBatcher:
                 keep_jobs: Deque[_Job] = deque()
                 for job in shard.jobs:
                     if job.deadline is not None and job.deadline <= now:
-                        expired.append(job.future)
-                        self._deadline_expired += len(job.specs)
+                        expired.append((job.future, job.trace))
+                        self._deadline_expired.inc(len(job.specs))
                     else:
                         keep_jobs.append(job)
                 shard.jobs = keep_jobs
@@ -328,7 +349,8 @@ class MicroBatcher:
             if shard.jobs:
                 job = shard.jobs.popleft()
                 return WorkItem(shard.key, job.specs, [job.future], "job",
-                                [job.deadline]), None
+                                [job.deadline], (job.enqueued,),
+                                (job.trace,)), None
         for shard in shards:
             if not shard.singles:
                 continue
@@ -341,7 +363,7 @@ class MicroBatcher:
     def next_batch(self) -> Optional[WorkItem]:
         """Block until a batch is due; ``None`` once stopped *and* drained."""
         while True:
-            expired: List[Future] = []
+            expired: List[Tuple[Future, object]] = []
             item: Optional[WorkItem] = None
             with self._ready:
                 now = time.monotonic()
@@ -350,8 +372,8 @@ class MicroBatcher:
                     item, wake = self._take_locked(now)
                     if item is not None:
                         self._in_flight += 1
-                        self._batches += 1
-                        self._requests_executed += len(item.specs)
+                        self._batches.inc()
+                        self._requests_executed.inc(len(item.specs))
                     elif self._stopping:
                         return None
                     else:
@@ -365,10 +387,12 @@ class MicroBatcher:
                         continue
             if expired:
                 # outside the lock: done-callbacks run on the setting thread
-                for future in expired:
-                    future.set_exception(DeadlineExceeded(
+                for future, trace in expired:
+                    error = DeadlineExceeded(
                         "request deadline expired while queued (the server "
-                        "could not schedule it in time)"))
+                        "could not schedule it in time)")
+                    complete_trace(trace, error)
+                    future.set_exception(error)
                 continue
             fault_point(SITE_SCHEDULE)
             return item
@@ -411,15 +435,18 @@ class MicroBatcher:
             self._ready.notify_all()
 
     def stats(self) -> BatcherStats:
+        # each instrument snapshot is individually coherent; the batcher
+        # lock is additionally held so no enqueue/dequeue interleaves a
+        # read, keeping the tuple as coherent as the pre-registry counters
         with self._lock:
             return BatcherStats(
-                singles_submitted=self._singles,
-                jobs_submitted=self._jobs,
-                batches_executed=self._batches,
-                requests_executed=self._requests_executed,
-                max_coalesced=self._max_coalesced,
-                coalesced_total=self._coalesced_total,
-                peak_depth=self._peak_depth,
-                shed=self._shed,
-                deadline_expired=self._deadline_expired,
+                singles_submitted=self._singles.value,
+                jobs_submitted=self._jobs.value,
+                batches_executed=self._batches.value,
+                requests_executed=self._requests_executed.value,
+                max_coalesced=int(self._max_coalesced.value),
+                coalesced_total=self._coalesced_total.value,
+                peak_depth=int(self._peak_depth.value),
+                shed=self._shed.value,
+                deadline_expired=self._deadline_expired.value,
             )

@@ -63,6 +63,14 @@ from typing import Dict, List, NamedTuple, Optional, Sequence
 import numpy as np
 
 from ..nn.context import serving_scope
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracing import (
+    Span,
+    activate_span,
+    begin_trace,
+    complete_trace,
+    span as obs_span,
+)
 from ..reliability.breaker import CircuitBreaker
 from ..reliability.errors import (
     CircuitOpenError,
@@ -259,8 +267,11 @@ def _drain_loop(batcher: MicroBatcher, server_ref) -> None:
         server = server_ref()
         try:
             if server is None:
-                for future in item.futures:
-                    future.set_exception(ServerClosedError(SHUTDOWN_MESSAGE))
+                error = ServerClosedError(SHUTDOWN_MESSAGE)
+                for index, future in enumerate(item.futures):
+                    if index < len(item.traces):
+                        complete_trace(item.traces[index], error)
+                    future.set_exception(error)
             else:
                 server._run_item(item)
         finally:
@@ -334,9 +345,14 @@ class Server:
         self._session = session
         self._trainers: Dict[str, object] = {}
         self._trainers_lock = threading.Lock()
+        #: per-server observability registry — stats()/healthz() are thin
+        #: views over these instruments, and repro.obs.snapshot() folds the
+        #: whole registry (percentile histograms included) into one document
+        self.metrics = MetricsRegistry()
         self._batcher = MicroBatcher(self.config.max_batch_size,
                                      self.config.batch_window_s,
-                                     self.config.max_queue_depth)
+                                     self.config.max_queue_depth,
+                                     metrics=self.metrics)
         self._retry_policy = RetryPolicy(
             max_retries=self.config.max_retries,
             backoff_s=self.config.retry_backoff_s,
@@ -344,12 +360,19 @@ class Server:
         self._retry_budget = RetryBudget(capacity=self.config.retry_budget)
         self._breakers: Dict[ShardKey, CircuitBreaker] = {}
         self._breakers_lock = threading.Lock()
-        self._counters_lock = threading.Lock()
-        self._failures = 0
-        self._retries = 0
-        self._breaker_rejections = 0
-        self._deadline_dropped = 0   # expired at execution/inline time
-        self._inline_executed = 0    # specs executed on callers' threads
+        self._failures = self.metrics.counter("serve.failures")
+        self._retries = self.metrics.counter("serve.retries")
+        self._breaker_rejections = self.metrics.counter(
+            "serve.breaker_rejections")
+        # expired at execution/inline time (queue-side expiries live in the
+        # batcher's serve.deadline_expired_queue counter)
+        self._deadline_dropped = self.metrics.counter(
+            "serve.deadline_expired_exec")
+        # specs executed on callers' threads (the inline, no-worker path)
+        self._inline_executed = self.metrics.counter("serve.inline_executed")
+        self._latency = self.metrics.histogram("serve.request_latency_s")
+        self._queue_wait = self.metrics.histogram("serve.queue_wait_s")
+        self._execute_wall = self.metrics.histogram("serve.execute_s")
         self._closed = False
         # if the server is dropped without close(), stop the queue so the
         # parked daemon workers exit instead of pinning batcher/threads
@@ -422,28 +445,67 @@ class Server:
 
         spec = SourceSpec.of(source, sizes=sizes, num_teams=num_teams,
                              num_threads=num_threads)
-        self._checked_open()
-        fault_point(SITE_SUBMIT)
-        deadline = self._absolute_deadline(deadline_s)
-        key = self._shard_key(platform, snippet, dtype)
-        self._checked_breaker(key)
+        trace = begin_trace("serve.request", kind="single")
+        key, deadline = self._admit(trace, platform, snippet, dtype,
+                                    deadline_s)
         if not self._workers:
-            future: Future = Future()
-            if deadline is not None and time.monotonic() >= deadline:
-                self._count_deadline_dropped(1)
-                future.set_exception(DeadlineExceeded(
-                    "request deadline expired before execution"))
-                return future
-            self._count_inline_executed(1)
-            try:
-                values = self._execute_with_retry(key, [spec], deadline)
-            except Exception as error:  # KeyboardInterrupt etc. must propagate
-                self._count_failures(1)
-                future.set_exception(error)  # on the caller's own thread
-            else:
-                future.set_result(float(values[0]))
+            return self._inline_single(key, spec, deadline, trace)
+        try:
+            return self._batcher.enqueue_single(key, spec, deadline,
+                                                trace=trace)
+        except BaseException as error:   # shed / closed: typed, synchronous
+            complete_trace(trace, error)
+            raise
+
+    def _admit(self, trace, platform, snippet, dtype, deadline_s):
+        """The shared admission sequence, recorded as a ``serve.submit``
+        span; admission failures raise synchronously on the caller's
+        thread and complete the request's trace with an error status."""
+        submit_span = trace.root.child("serve.submit") \
+            if trace is not None else None
+        try:
+            self._checked_open()
+            fault_point(SITE_SUBMIT)
+            deadline = self._absolute_deadline(deadline_s)
+            key = self._shard_key(platform, snippet, dtype)
+            self._checked_breaker(key)
+        except BaseException as error:
+            if submit_span is not None:
+                submit_span.finish(error)
+            complete_trace(trace, error)
+            raise
+        if trace is not None:
+            submit_span.finish()
+            trace.root.attributes.update(
+                platform=key.platform, snippet=key.snippet,
+                dtype=key.dtype or "float64")
+        return key, deadline
+
+    def _inline_single(self, key: ShardKey, spec, deadline, trace) -> "Future":
+        """Execute one submitted request on the caller's thread."""
+        future: Future = Future()
+        if deadline is not None and time.monotonic() >= deadline:
+            self._count_deadline_dropped(1)
+            error = DeadlineExceeded(
+                "request deadline expired before execution")
+            complete_trace(trace, error)
+            future.set_exception(error)
             return future
-        return self._batcher.enqueue_single(key, spec, deadline)
+        self._count_inline_executed(1)
+        start = time.monotonic()
+        try:
+            with activate_span(trace.root if trace is not None else None):
+                values = self._execute_with_retry(key, [spec], deadline)
+        except Exception as error:  # KeyboardInterrupt etc. must propagate
+            self._count_failures(1)
+            self._latency.observe(time.monotonic() - start)
+            complete_trace(trace, error)
+            future.set_exception(error)  # on the caller's own thread
+        else:
+            self._latency.observe(time.monotonic() - start)
+            complete_trace(trace)
+            future.set_result(float(values[0]))
+        return future
 
     def predict(self, source, platform, *, deadline_s: Optional[float] = None,
                 **kwargs) -> float:
@@ -479,22 +541,37 @@ class Server:
         if not specs:
             # honor the serving dtype even for empty batches
             return np.zeros(0, dtype=resolve_result_dtype(dtype))
-        fault_point(SITE_SUBMIT)
-        deadline = self._absolute_deadline(deadline_s)
-        key = self._shard_key(platform, snippet, dtype)
-        self._checked_breaker(key)
+        trace = begin_trace("serve.request", kind="job",
+                            batch_size=len(specs))
+        key, deadline = self._admit(trace, platform, snippet, dtype,
+                                    deadline_s)
         if not self._workers:
             if deadline is not None and time.monotonic() >= deadline:
                 self._count_deadline_dropped(len(specs))
-                raise DeadlineExceeded(
+                error = DeadlineExceeded(
                     "batch deadline expired before execution")
+                complete_trace(trace, error)
+                raise error
             self._count_inline_executed(len(specs))
+            start = time.monotonic()
             try:
-                return self._execute_with_retry(key, list(specs), deadline)
-            except Exception:
+                with activate_span(trace.root if trace is not None else None):
+                    values = self._execute_with_retry(key, list(specs),
+                                                      deadline)
+            except Exception as error:
                 self._count_failures(len(specs))
+                self._latency.observe(time.monotonic() - start)
+                complete_trace(trace, error)
                 raise
-        future = self._batcher.enqueue_job(key, list(specs), deadline)
+            self._latency.observe(time.monotonic() - start)
+            complete_trace(trace)
+            return values
+        try:
+            future = self._batcher.enqueue_job(key, list(specs), deadline,
+                                               trace=trace)
+        except BaseException as error:   # shed / closed: typed, synchronous
+            complete_trace(trace, error)
+            raise
         return self._await_future(future, deadline)
 
     def _await_future(self, future: "Future", deadline: Optional[float]):
@@ -543,24 +620,20 @@ class Server:
     def _checked_breaker(self, key: ShardKey) -> None:
         breaker = self._breaker_for(key)
         if breaker is not None and not breaker.allow():
-            with self._counters_lock:
-                self._breaker_rejections += 1
+            self._breaker_rejections.inc()
             raise CircuitOpenError(
                 f"circuit breaker for shard {key!r} is open after repeated "
                 f"failures; retrying after {self.config.breaker_reset_s:g}s "
                 "admits a trial request")
 
     def _count_failures(self, n: int) -> None:
-        with self._counters_lock:
-            self._failures += n
+        self._failures.inc(n)
 
     def _count_deadline_dropped(self, n: int) -> None:
-        with self._counters_lock:
-            self._deadline_dropped += n
+        self._deadline_dropped.inc(n)
 
     def _count_inline_executed(self, n: int) -> None:
-        with self._counters_lock:
-            self._inline_executed += n
+        self._inline_executed.inc(n)
 
     def _execute(self, key: ShardKey, specs: List) -> np.ndarray:
         """Run one batch end to end: cached encode + batched GNN forward."""
@@ -570,7 +643,9 @@ class Server:
         trainer = self._trainers[key.platform]
         dtype = None if key.dtype is None else np.dtype(key.dtype)
         with serving_scope():
-            encoded = self._session._encode_specs(specs, snippet=key.snippet)
+            with obs_span("serve.encode", batch_size=len(specs)):
+                encoded = self._session._encode_specs(specs,
+                                                      snippet=key.snippet)
             fault_point(SITE_FORWARD)
             stage = PredictStage(dtype=dtype,
                                  packed=self.config.packed_forward)
@@ -589,9 +664,9 @@ class Server:
         breaker = self._breaker_for(key)
 
         def on_retry(error: BaseException, attempt: int) -> None:
-            with self._counters_lock:
-                self._retries += 1
+            self._retries.inc()
 
+        start = time.monotonic()
         try:
             values = call_with_retry(
                 lambda: self._execute(key, specs),
@@ -600,9 +675,11 @@ class Server:
                 deadline=deadline,
                 on_retry=on_retry)
         except Exception as error:
+            self._execute_wall.observe(time.monotonic() - start)
             if breaker is not None and not isinstance(error, DeadlineExceeded):
                 breaker.record_failure()
             raise
+        self._execute_wall.observe(time.monotonic() - start)
         if breaker is not None:
             breaker.record_success()
         return values
@@ -611,26 +688,43 @@ class Server:
         # deadlines are re-checked at execution time: a request that expired
         # between dequeue and here must not burn a forward
         now = time.monotonic()
+        traces = item.traces or (None,) * len(item.futures)
+        enqueued = item.enqueued or (now,) * len(item.futures)
+        for queued_at in enqueued:
+            self._queue_wait.observe(max(now - queued_at, 0.0))
+        for trace, queued_at in zip(traces, enqueued):
+            if trace is not None:
+                trace.root.child("serve.queue",
+                                 start_s=queued_at).finish(end_s=now)
         if item.kind == "job":
             deadline = item.deadlines[0]
             if deadline is not None and deadline <= now:
                 self._count_deadline_dropped(len(item.specs))
-                item.futures[0].set_exception(DeadlineExceeded(
-                    "batch deadline expired before execution"))
+                error = DeadlineExceeded(
+                    "batch deadline expired before execution")
+                complete_trace(traces[0], error)
+                item.futures[0].set_exception(error)
                 return
             specs, futures, deadlines = item.specs, item.futures, item.deadlines
+            live_traces, live_enqueued = list(traces), list(enqueued)
         else:
             specs, futures, deadlines = [], [], []
-            for spec, future, spec_deadline in zip(item.specs, item.futures,
-                                                   item.deadlines):
+            live_traces, live_enqueued = [], []
+            for spec, future, spec_deadline, trace, queued_at in zip(
+                    item.specs, item.futures, item.deadlines, traces,
+                    enqueued):
                 if spec_deadline is not None and spec_deadline <= now:
                     self._count_deadline_dropped(1)
-                    future.set_exception(DeadlineExceeded(
-                        "request deadline expired before execution"))
+                    error = DeadlineExceeded(
+                        "request deadline expired before execution")
+                    complete_trace(trace, error)
+                    future.set_exception(error)
                 else:
                     specs.append(spec)
                     futures.append(future)
                     deadlines.append(spec_deadline)
+                    live_traces.append(trace)
+                    live_enqueued.append(queued_at)
             if not specs:
                 return
         batch_deadline = None
@@ -641,33 +735,92 @@ class Server:
             # only bound the whole batch when *every* request is bounded —
             # one short deadline must not time out its unbounded neighbours
             batch_deadline = min(live_deadlines)
+        # one shared execute span for the fused batch; it is grafted into
+        # every live request's tree afterwards (requests coalesced into the
+        # same forward genuinely share the work)
+        execute = None
+        if any(trace is not None for trace in live_traces):
+            execute = Span("serve.execute", {"kind": item.kind,
+                                             "batch_size": len(specs)})
         try:
             fault_point(SITE_WORKER)
-            values = self._execute_with_retry(item.key, specs, batch_deadline)
+            with activate_span(execute):
+                values = self._execute_with_retry(item.key, specs,
+                                                  batch_deadline)
         except BaseException as error:  # noqa: BLE001 - delivered to futures
+            if execute is not None:
+                execute.finish(error)
+            self._graft(execute, live_traces)
             if item.kind == "singles" and len(specs) > 1:
                 # a poisoned request must not fail its batch neighbours:
                 # retry the coalesced singles individually
-                for spec, future, spec_deadline in zip(specs, futures,
-                                                       deadlines):
+                for spec, future, spec_deadline, trace, queued_at in zip(
+                        specs, futures, deadlines, live_traces,
+                        live_enqueued):
+                    retry_span = None
+                    if trace is not None:
+                        retry_span = Span("serve.execute",
+                                          {"kind": "retry-single",
+                                           "batch_size": 1})
                     try:
-                        value = float(self._execute_with_retry(
-                            item.key, [spec], spec_deadline)[0])
+                        with activate_span(retry_span):
+                            value = float(self._execute_with_retry(
+                                item.key, [spec], spec_deadline)[0])
                     except BaseException as single_error:  # noqa: BLE001
                         self._count_failures(1)
-                        future.set_exception(single_error)
+                        self._finish_one(future, trace, retry_span,
+                                         queued_at, error=single_error)
                     else:
-                        future.set_result(value)
+                        self._finish_one(future, trace, retry_span,
+                                         queued_at, value=value)
                 return
             self._count_failures(len(specs))
-            for future in futures:
+            end = time.monotonic()
+            for future, trace, queued_at in zip(futures, live_traces,
+                                                live_enqueued):
+                self._latency.observe(max(end - queued_at, 0.0))
+                complete_trace(trace, error)
                 future.set_exception(error)
             return
+        if execute is not None:
+            execute.finish()
+        self._graft(execute, live_traces)
+        end = time.monotonic()
         if item.kind == "job":
+            self._latency.observe(max(end - live_enqueued[0], 0.0))
+            complete_trace(live_traces[0])
             futures[0].set_result(np.asarray(values))
         else:
-            for future, value in zip(futures, values):
+            for future, value, trace, queued_at in zip(futures, values,
+                                                       live_traces,
+                                                       live_enqueued):
+                self._latency.observe(max(end - queued_at, 0.0))
+                complete_trace(trace)
                 future.set_result(float(value))
+
+    @staticmethod
+    def _graft(execute: Optional[Span], traces) -> None:
+        """Attach the finished shared execute span to every live trace."""
+        if execute is None:
+            return
+        for trace in traces:
+            if trace is not None:
+                trace.root.children.append(execute)
+
+    def _finish_one(self, future: "Future", trace, retry_span,
+                    queued_at: float, value=None, error=None) -> None:
+        """Resolve one individually-retried single: graft its retry span,
+        record latency, complete the trace, then settle the future."""
+        if retry_span is not None:
+            retry_span.finish(error)
+            if trace is not None:
+                trace.root.children.append(retry_span)
+        self._latency.observe(max(time.monotonic() - queued_at, 0.0))
+        complete_trace(trace, error)
+        if error is not None:
+            future.set_exception(error)
+        else:
+            future.set_result(value)
 
     # ------------------------------------------------------------------ #
     # lifecycle / introspection
@@ -713,12 +866,11 @@ class Server:
     def stats(self) -> ServerStats:
         """Queue/coalescing/reliability accounting (all-zero until traffic
         arrives), plus whether the model set was warm-started."""
-        with self._counters_lock:
-            failures = self._failures
-            retries = self._retries
-            breaker_rejections = self._breaker_rejections
-            deadline_dropped = self._deadline_dropped
-            inline_executed = self._inline_executed
+        failures = self._failures.value
+        retries = self._retries.value
+        breaker_rejections = self._breaker_rejections.value
+        deadline_dropped = self._deadline_dropped.value
+        inline_executed = self._inline_executed.value
         breakers_open = sum(1 for breaker in list(self._breakers.values())
                             if breaker.state == "open")
         return ServerStats.of(
@@ -770,6 +922,14 @@ class Server:
             "retry_budget_tokens": self._retry_budget.tokens,
             "warm_started": stats.warm_started,
         }
+
+    def snapshot(self) -> dict:
+        """The unified observability document for this server: stats(),
+        healthz(), latency quantiles, cache stats, tracing and fault state,
+        all in one versioned JSON-safe dict (see ``OBSERVABILITY.md``)."""
+        from ..obs.snapshot import snapshot as obs_snapshot
+
+        return obs_snapshot(server=self, session=self._session)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return (f"Server(workers={self.config.num_workers}, "

@@ -35,6 +35,8 @@ from typing import Dict, List, Mapping, Optional, Tuple
 import numpy as np
 
 from ..ml.scaler import scaler_from_dict
+from ..obs.metrics import add_count
+from ..obs.tracing import span
 from ..reliability.faults import SITE_STORE_READ, SITE_STORE_WRITE, fault_point
 from .manifest import (
     CorruptArtifactError,
@@ -187,13 +189,16 @@ def _write_weights(path: str, slug: str, state: Mapping[str, np.ndarray]) -> Tup
     buffer = io.BytesIO()
     np.savez(buffer, **dict(state))
     raw = buffer.getvalue()
-    digest = hashlib.sha256(raw).hexdigest()
-    # chaos hook *after* hashing: an injected write corruption lands on
-    # disk with a now-stale recorded checksum, exactly like a real torn
-    # write — verify/load catches it, nothing silently survives
-    raw = fault_point(SITE_STORE_WRITE, raw)
-    with open(target, "wb") as handle:
-        handle.write(raw)
+    with span("store.write", payload=relative, num_bytes=len(raw)):
+        digest = hashlib.sha256(raw).hexdigest()
+        # chaos hook *after* hashing: an injected write corruption lands on
+        # disk with a now-stale recorded checksum, exactly like a real torn
+        # write — verify/load catches it, nothing silently survives
+        raw = fault_point(SITE_STORE_WRITE, raw)
+        with open(target, "wb") as handle:
+            handle.write(raw)
+        add_count("store.bytes_written", len(raw))
+        add_count("store.payloads_written")
     return relative, digest
 
 
@@ -415,8 +420,11 @@ def _load_state(path: str, entry: Mapping, verify: bool) -> Dict[str, np.ndarray
             f"manifest field 'models[{entry['name']!r}].weights': payload "
             f"file {entry['weights']!r} is missing from the artifact")
     try:
-        with open(weights_path, "rb") as handle:
-            raw = handle.read()
+        with span("store.read", payload=entry["weights"]):
+            with open(weights_path, "rb") as handle:
+                raw = handle.read()
+            add_count("store.bytes_read", len(raw))
+            add_count("store.payloads_read")
     except OSError as error:
         raise CorruptArtifactError(
             f"manifest field 'models[{entry['name']!r}].weights': cannot "
@@ -425,12 +433,15 @@ def _load_state(path: str, entry: Mapping, verify: bool) -> Dict[str, np.ndarray
     # torn page) must be caught by the verify path below
     raw = fault_point(SITE_STORE_READ, raw)
     if verify:
-        actual = hashlib.sha256(raw).hexdigest()
-        if actual != entry["sha256"]:
-            raise CorruptArtifactError(
-                f"manifest field 'models[{entry['name']!r}].sha256': checksum "
-                f"mismatch for {entry['weights']!r} (manifest says "
-                f"{entry['sha256'][:12]}…, file hashes to {actual[:12]}…)")
+        with span("store.verify", payload=entry["weights"],
+                  num_bytes=len(raw)):
+            actual = hashlib.sha256(raw).hexdigest()
+            if actual != entry["sha256"]:
+                raise CorruptArtifactError(
+                    f"manifest field 'models[{entry['name']!r}].sha256': "
+                    f"checksum mismatch for {entry['weights']!r} (manifest "
+                    f"says {entry['sha256'][:12]}…, file hashes to "
+                    f"{actual[:12]}…)")
     try:
         with np.load(io.BytesIO(raw)) as payload:
             state = {key: payload[key] for key in payload.files}

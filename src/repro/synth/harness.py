@@ -88,6 +88,7 @@ __all__ = [
     "scenario_names",
     "seeds_for",
     "structural_dump",
+    "tiny_serving_stack",
 ]
 
 CASES_ENV = "REPRO_SYNTH_CASES"
@@ -590,6 +591,16 @@ def _tiny_serving_stack(seed: int):
     return session, platform.name, sources
 
 
+def tiny_serving_stack(seed: int = 0):
+    """A warm-started, serving-ready ``(session, platform, sources)`` triple.
+
+    Public wrapper around the harness's in-process stack — random weights,
+    fitted scalers, no training — so demos and the ``repro.obs`` CLI can
+    drive real serving traffic in milliseconds.
+    """
+    return _tiny_serving_stack(seed)
+
+
 def check_serve_under_faults(seed: int) -> None:
     """The ``repro.reliability`` contract, differentially tested.
 
@@ -689,6 +700,124 @@ def check_serve_under_faults(seed: int) -> None:
                     err_msg="whole-job batch silently corrupted under faults")
         finally:
             server.close()
+
+
+def check_trace_completeness(seed: int) -> None:
+    """The ``repro.obs`` tracing contract: one span tree per request.
+
+    Seeded plan: a warm-started session serves a fixed request list through
+    a seed-chosen topology (inline or pooled workers, coalescing windows,
+    breaker on/off) inside ``trace_requests`` + ``metrics_scope`` scopes,
+    with seed-chosen fault injection and (some seeds) an already-expired
+    deadline.  The invariant: every submission either resolves or raises a
+    typed reliability error, AND yields **exactly one** completed
+    ``serve.request`` trace — structurally validated, JSON round-tripped to
+    a fixpoint, and carrying its ``serve.submit`` admission span.  Trace
+    accounting must balance (``began == completed == submissions``, nothing
+    dropped): an incomplete trace is a leaked request, a surplus one is a
+    double delivery.
+    """
+    from concurrent.futures import TimeoutError as FutureTimeout
+
+    from ..obs.metrics import MetricsRegistry, metrics_scope
+    from ..obs.tracing import Trace, trace_requests
+    from ..reliability import (
+        CircuitOpenError,
+        DeadlineExceeded,
+        FaultPlan,
+        FaultSpec,
+        ServerOverloaded,
+        TransientFaultError,
+        inject_faults,
+    )
+    from ..serve import Server, ServerConfig
+
+    rng = np.random.default_rng(seed)
+    session, platform, sources = _tiny_serving_stack(seed)
+    typed = (DeadlineExceeded, ServerOverloaded, CircuitOpenError,
+             TransientFaultError)
+
+    menu = [
+        FaultSpec("engine.forward", "raise", float(rng.uniform(0.1, 0.4))),
+        FaultSpec("serve.worker", "delay", float(rng.uniform(0.1, 0.5)),
+                  delay_s=float(rng.uniform(0.001, 0.003))),
+        FaultSpec("serve.submit", "raise", float(rng.uniform(0.05, 0.25))),
+    ]
+    picked = [spec for spec in menu if rng.random() < 0.5]
+    expire_one = bool(rng.integers(0, 2))
+    num_workers = int(rng.integers(0, 3))       # 0 exercises the inline path
+    config = ServerConfig(num_workers=num_workers,
+                          max_batch_size=int(rng.integers(1, 4)),
+                          batch_window_s=float(rng.choice([0.0, 0.002])),
+                          default_deadline_s=5.0, max_queue_depth=16,
+                          max_retries=1, retry_backoff_s=0.001,
+                          breaker_threshold=int(rng.choice([0, 4])),
+                          breaker_reset_s=0.05)
+
+    def run_traffic(server) -> int:
+        submissions = 0
+        pending = []
+        for index, source in enumerate(sources):
+            deadline_s = 0.0 if expire_one and index == 0 else None
+            submissions += 1
+            try:
+                future = server.submit(source, platform, dtype=None,
+                                       deadline_s=deadline_s)
+            except typed:
+                continue            # typed admission rejection: allowed
+            pending.append((index, future))
+        for index, future in pending:
+            # typed errors before the hang detector: DeadlineExceeded *is*
+            # a TimeoutError (see check_serve_under_faults)
+            try:
+                future.result(timeout=10.0)
+            except typed:
+                continue            # typed failure: allowed
+            except FutureTimeout:
+                raise AssertionError(
+                    f"request {index} hung (future unresolved after 10s)")
+        submissions += 1
+        try:
+            server.predict_batch(sources, platform, dtype=None,
+                                 deadline_s=5.0)
+        except typed:
+            pass
+        return submissions
+
+    def serve_all() -> int:
+        server = Server(session, config)
+        try:
+            return run_traffic(server)
+        finally:
+            server.close()
+
+    with metrics_scope(MetricsRegistry()):
+        with trace_requests(capacity=64) as collector:
+            if picked:
+                with inject_faults(FaultPlan(seed, picked)):
+                    submissions = serve_all()
+            else:
+                submissions = serve_all()
+
+    stats = collector.stats()
+    assert stats["began"] == submissions, (
+        f"{submissions} submissions began {stats['began']} traces")
+    assert stats["completed"] == submissions, (
+        f"only {stats['completed']} of {submissions} traces completed "
+        "(an incomplete trace is a leaked request)")
+    assert stats["dropped"] == 0, f"collector dropped {stats['dropped']}"
+    traces = collector.traces()
+    assert len(traces) == submissions
+    for trace in traces:
+        assert trace.root.name == "serve.request", trace.root.name
+        trace.validate()            # raises TraceError on a malformed tree
+        payload = trace.to_json()
+        assert Trace.from_json(payload).to_json() == payload, (
+            "trace JSON round-trip is not a fixpoint")
+        assert trace.root.find("serve.submit") is not None, (
+            "trace lacks its admission span:\n" + trace.render())
+        if trace.root.status == "error":
+            assert trace.root.error, "error trace without error text"
 
 
 def check_packed_forward_parity(seed: int) -> None:
@@ -851,6 +980,7 @@ _register("serve-under-faults", check_serve_under_faults, 50, "reliability")
 _register("packed-forward-parity", check_packed_forward_parity, 16, "gnn")
 _register("analysis-planted-defects", check_analysis_planted_defects, 20,
           "analysis")
+_register("trace-completeness", check_trace_completeness, 20, "obs")
 
 #: sum of the per-scenario defaults — the tier-1 corpus size.
 DEFAULT_TOTAL_CASES = sum(spec.default_cases for spec in SCENARIOS.values())

@@ -77,7 +77,8 @@ class TestEdgeLayoutLRU:
         cache.get(ei, np.array([0, 1]), 2, 2)
         cache.get(ei, np.array([1, 0]), 2, 2)         # types differ
         cache.get(ei, None, 2, 2)                     # None types differ again
-        assert cache.info() == (0, 3, 3, 4)   # hits, misses, size, capacity
+        # hits, misses, size, capacity, evictions
+        assert cache.info() == (0, 3, 3, 4, 0)
 
     def test_zero_capacity_never_stores(self):
         cache = EdgeLayoutCache(capacity=0)

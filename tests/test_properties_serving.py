@@ -116,6 +116,17 @@ class TestServeUnderFaults:
         assert report.ok and report.cases >= 2
 
 
+class TestTraceCompleteness:
+    """Seeded tracing sweep: under any topology and seeded faults, every
+    submitted request yields exactly one completed, well-formed
+    ``serve.request`` span tree (validated + JSON fixpoint) or a typed
+    error — trace accounting balances, nothing leaks or double-delivers."""
+
+    def test_trace_completeness_corpus(self):
+        report = run_cases("trace-completeness")
+        assert report.ok and report.cases >= 2
+
+
 class TestInvalidStageDicts:
     """ReproConfig.from_dict must reject bad stage payloads (satellite #4)."""
 
